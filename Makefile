@@ -1,0 +1,32 @@
+# Convenience targets for the PNM reproduction.
+
+.PHONY: install test bench experiments experiments-full examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure + extension at the default (quick) preset.
+experiments:
+	python -m repro.experiments.cli all --preset quick
+
+# The paper's exact run sizes (5000 runs for Figs. 5/7, 100 for Fig. 6).
+experiments-full:
+	python -m repro.experiments.cli all --preset full
+
+examples:
+	python examples/quickstart.py
+	python examples/colluding_coverup.py
+	python examples/identity_swap_loop.py
+	python examples/multi_source_hunt.py
+	python examples/traceback_shootout.py
+	python examples/field_monitoring.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/claims (at the CI
+preset -- pass ``--preset`` sizes by editing
+:mod:`repro.experiments.presets`) and asserts the expected *shape* on the
+result, so a performance run doubles as a reproduction check.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def preset():
+    from repro.experiments.presets import CI
+
+    return CI

@@ -1,0 +1,59 @@
+"""Ablation benches for DESIGN.md's called-out design choices."""
+
+from repro.experiments import ablations
+
+
+class TestAnonymityAblation:
+    def test_bench_anonymity(self, benchmark, preset):
+        result = benchmark.pedantic(
+            ablations.anonymity_ablation, args=(preset,), rounds=1, iterations=1
+        )
+        outcomes = dict(zip(result.column("scheme"), result.column("outcome")))
+        assert outcomes == {"naive-pnm": "framed", "pnm": "caught"}
+
+
+class TestNestingAblation:
+    def test_bench_nesting(self, benchmark, preset):
+        result = benchmark.pedantic(
+            ablations.nesting_ablation, args=(preset,), rounds=1, iterations=1
+        )
+        outcome = {(r[0], r[2]): r[3] for r in result.rows}
+        assert outcome[("nested", "unprotected-alter")] == "caught"
+        assert outcome[("partial-nested", "unprotected-alter")] == "framed"
+
+
+class TestMarkProbabilityAblation:
+    def test_bench_mark_prob(self, benchmark, preset):
+        result = benchmark.pedantic(
+            ablations.marking_probability_sweep,
+            args=(preset,),
+            rounds=1,
+            iterations=1,
+        )
+        ident = result.column("avg_packets_to_identify")
+        assert ident[0] > ident[-1]
+
+
+class TestResolverAblation:
+    def test_bench_resolver(self, benchmark, preset):
+        result = benchmark.pedantic(
+            ablations.resolver_ablation, args=(preset,), rounds=1, iterations=1
+        )
+        assert set(result.column("outcome")) == {"caught"}
+
+
+class TestMarkLengthAblation:
+    def test_bench_mark_length(self, benchmark, preset):
+        result = benchmark.pedantic(
+            ablations.mark_length_ablation, args=(preset,), rounds=1, iterations=1
+        )
+        assert set(result.column("outcome")) == {"caught"}
+
+
+class TestRouteDynamicsAblation:
+    def test_bench_route_dynamics(self, benchmark, preset):
+        result = benchmark.pedantic(
+            ablations.route_dynamics_ablation, args=(preset,), rounds=1, iterations=1
+        )
+        by_churn = dict(zip(result.column("churn"), result.column("outcome")))
+        assert by_churn["order-preserving"] == "caught"

@@ -1,0 +1,19 @@
+"""Benchmark the scheme x attack security matrix (Sections 3/5)."""
+
+from repro.experiments.security_matrix import (
+    EXPECTED_DEFEATS,
+    run,
+)
+
+
+class TestSecurityMatrix:
+    def test_bench_security_matrix(self, benchmark, preset):
+        result = benchmark.pedantic(run, args=(preset,), rounds=1, iterations=1)
+        cells = {row[0]: dict(zip(result.columns[1:], row[1:])) for row in result.rows}
+        # PNM and nested marking are never framed ...
+        for scheme in ("pnm", "nested"):
+            assert "framed" not in cells[scheme].values()
+        # ... and every documented defeat of the baselines is observed.
+        for scheme, attacks in EXPECTED_DEFEATS.items():
+            for attack in attacks:
+                assert cells[scheme][attack] == "framed"

@@ -1,0 +1,57 @@
+"""Adversary substrate: colluding moles and the Section 2.2 attack taxonomy.
+
+The threat model: an adversary physically compromises nodes ("moles"),
+obtaining their keys and full control of their behavior.  A *source mole*
+injects well-formed bogus reports; a *forwarding mole* on the path
+manipulates packets arbitrarily to hide both moles' locations or frame
+innocent nodes.  Moles share all their keys (:class:`Coalition`).
+
+Attack taxonomy (Section 2.2), each a composable :class:`Attack` strategy:
+
+1.  No-mark            -- :class:`NoMarkAttack`
+2.  Mark insertion     -- :class:`MarkInsertionAttack`
+3.  Mark removal       -- :class:`MarkRemovalAttack`
+4.  Mark re-ordering   -- :class:`MarkReorderingAttack`
+5.  Mark altering      -- :class:`MarkAlteringAttack`
+6.  Selective dropping -- :class:`SelectiveDroppingAttack`
+7.  Identity swapping  -- :class:`IdentitySwappingAttack`
+
+Plus :class:`ReplayAttack` (Section 7), :class:`CompositeAttack` for
+combinations, and :class:`HonestBehaviorAttack` as the do-nothing control.
+"""
+
+from repro.adversary.attacks import (
+    Attack,
+    CompositeAttack,
+    HonestBehaviorAttack,
+    IdentitySwappingAttack,
+    MarkAlteringAttack,
+    MarkInsertionAttack,
+    MarkRemovalAttack,
+    MarkReorderingAttack,
+    NoMarkAttack,
+    SelectiveDroppingAttack,
+    TargetedMarkRemovalAttack,
+    UnprotectedBitAlteringAttack,
+)
+from repro.adversary.coalition import Coalition
+from repro.adversary.moles import ForwardingMole, MoleReportSource, ReplayingSource
+
+__all__ = [
+    "Coalition",
+    "Attack",
+    "NoMarkAttack",
+    "MarkInsertionAttack",
+    "MarkRemovalAttack",
+    "TargetedMarkRemovalAttack",
+    "MarkReorderingAttack",
+    "MarkAlteringAttack",
+    "SelectiveDroppingAttack",
+    "IdentitySwappingAttack",
+    "UnprotectedBitAlteringAttack",
+    "CompositeAttack",
+    "HonestBehaviorAttack",
+    "ForwardingMole",
+    "MoleReportSource",
+    "ReplayingSource",
+]

@@ -1,0 +1,397 @@
+"""The Section 2.2 attack taxonomy as composable strategies.
+
+Each attack transforms a packet at a forwarding mole.  The mole gives the
+attack access to its identity, the deployed marking scheme (attackers know
+the protocol), its own compromised key, and the coalition's pooled keys.
+Attacks return the packet to forward, or ``None`` to drop it.
+
+Design note: attacks manipulate the *structured* mark list rather than raw
+bytes, which is equivalent power-wise -- field lengths are public, so a
+mole can parse any packet -- and keeps manipulations explicit.  Raw-bit
+tampering is represented by :class:`MarkAlteringAttack` (flip bytes in a
+mark) and :class:`UnprotectedBitAlteringAttack` (Theorem 3's surgical
+variant against under-protective schemes).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.marking.base import NodeContext
+from repro.packets.marks import Mark
+from repro.packets.packet import MarkedPacket
+
+__all__ = [
+    "Attack",
+    "HonestBehaviorAttack",
+    "NoMarkAttack",
+    "MarkInsertionAttack",
+    "MarkRemovalAttack",
+    "TargetedMarkRemovalAttack",
+    "MarkReorderingAttack",
+    "MarkAlteringAttack",
+    "SelectiveDroppingAttack",
+    "IdentitySwappingAttack",
+    "UnprotectedBitAlteringAttack",
+    "CompositeAttack",
+]
+
+
+class Attack(abc.ABC):
+    """A forwarding mole's packet manipulation strategy."""
+
+    @abc.abstractmethod
+    def apply(self, mole: "ForwardingMole", packet: MarkedPacket) -> MarkedPacket | None:
+        """Transform ``packet`` at ``mole``; ``None`` drops it."""
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class HonestBehaviorAttack(Attack):
+    """Control strategy: behave exactly like an honest forwarder."""
+
+    def apply(self, mole, packet):
+        return mole.scheme.on_forward(mole.ctx, packet)
+
+
+class NoMarkAttack(Attack):
+    """Attack 1: forward without leaving any mark.
+
+    Against nested marking this only moves the traceback stop to the mole's
+    next marking downstream neighbor -- still within one hop of the mole.
+    """
+
+    def apply(self, mole, packet):
+        return packet
+
+
+class MarkInsertionAttack(Attack):
+    """Attack 2: insert fabricated marks.
+
+    Two fabrication modes, applied per inserted mark:
+
+    * ``claim_ids`` -- craft a mark *claiming* an innocent node's ID, built
+      with the mole's own key (the mole has no other keys).  Under
+      unauthenticated PPM such a mark is accepted and frames the victim;
+      under any MAC'd scheme it cannot verify.
+    * otherwise -- pure garbage bytes from the mole's RNG.
+
+    Args:
+        num_fake: how many marks to insert.
+        claim_ids: IDs to claim round-robin; ``None`` for garbage marks.
+        also_mark: whether the mole additionally leaves its own valid mark
+            after the fakes.
+        position: ``"append"`` adds the fakes after the existing marks (the
+            mole's natural slot); ``"prepend"`` splices them in front of
+            all existing marks, making the victim *appear most upstream* --
+            the framing variant that defeats unauthenticated marking, while
+            under nested marking it merely invalidates the prefix.
+    """
+
+    def __init__(
+        self,
+        num_fake: int = 1,
+        claim_ids: Sequence[int] | None = None,
+        also_mark: bool = False,
+        position: str = "append",
+    ):
+        if num_fake < 1:
+            raise ValueError(f"num_fake must be >= 1, got {num_fake}")
+        if position not in ("append", "prepend"):
+            raise ValueError(
+                f"position must be 'append' or 'prepend', got {position!r}"
+            )
+        self.num_fake = num_fake
+        self.claim_ids = list(claim_ids) if claim_ids is not None else None
+        self.also_mark = also_mark
+        self.position = position
+
+    def _fabricate(self, mole, packet, k: int) -> Mark:
+        fmt = mole.scheme.fmt
+        if self.claim_ids:
+            victim = self.claim_ids[k % len(self.claim_ids)]
+            return mole.scheme.make_mark(mole.ctx, packet, claimed_id=victim)
+        return Mark(
+            id_field=mole.ctx.rng.randbytes(fmt.id_len),
+            mac=mole.ctx.rng.randbytes(fmt.mac_len),
+        )
+
+    def apply(self, mole, packet):
+        if self.position == "prepend":
+            fakes = tuple(
+                self._fabricate(mole, packet.with_marks(()), k)
+                for k in range(self.num_fake)
+            )
+            packet = packet.with_marks(fakes + packet.marks)
+        else:
+            for k in range(self.num_fake):
+                packet = packet.with_mark(self._fabricate(mole, packet, k))
+        if self.also_mark:
+            packet = packet.with_mark(mole.scheme.make_mark(mole.ctx, packet))
+        return packet
+
+
+class MarkRemovalAttack(Attack):
+    """Attack 3: strip marks left by upstream nodes.
+
+    Args:
+        num_remove: how many of the *most upstream* marks to remove;
+            ``None`` removes every existing mark.
+        also_mark: whether the mole then leaves its own valid mark over the
+            stripped packet (making the packet look like a fresh short
+            path -- the strongest framing variant against AMS).
+    """
+
+    def __init__(self, num_remove: int | None = None, also_mark: bool = False):
+        if num_remove is not None and num_remove < 1:
+            raise ValueError(f"num_remove must be >= 1 or None, got {num_remove}")
+        self.num_remove = num_remove
+        self.also_mark = also_mark
+
+    def apply(self, mole, packet):
+        if self.num_remove is None:
+            kept: tuple[Mark, ...] = ()
+        else:
+            kept = packet.marks[self.num_remove :]
+        packet = packet.with_marks(kept)
+        if self.also_mark:
+            packet = packet.with_mark(mole.scheme.make_mark(mole.ctx, packet))
+        return packet
+
+
+class TargetedMarkRemovalAttack(Attack):
+    """Attack 3 (targeted variant): remove specific nodes' marks by ID.
+
+    This is the paper's Section 3 example verbatim: "if mole X removes all
+    marks from S and node 1, the sink will trace back to innocent node 2".
+    Targeting requires readable IDs, so against anonymous-ID schemes (PNM)
+    the attack degenerates to forwarding unchanged.
+
+    Args:
+        remove_ids: plain node IDs whose marks are stripped.
+    """
+
+    def __init__(self, remove_ids: Sequence[int]):
+        if not remove_ids:
+            raise ValueError("remove_ids must not be empty")
+        self.remove_ids = frozenset(remove_ids)
+
+    def apply(self, mole, packet):
+        fmt = mole.scheme.fmt
+        if fmt.anonymous:
+            return packet  # cannot tell whose marks these are
+        kept = tuple(
+            mark
+            for mark in packet.marks
+            if not (
+                mark.matches_format(fmt)
+                and fmt.decode_node_id(mark.id_field) in self.remove_ids
+            )
+        )
+        if len(kept) == len(packet.marks):
+            return packet
+        return packet.with_marks(kept)
+
+
+class MarkReorderingAttack(Attack):
+    """Attack 4: permute the existing marks.
+
+    Args:
+        mode: ``"reverse"`` or ``"shuffle"`` (mole-RNG-driven).
+    """
+
+    def __init__(self, mode: str = "reverse"):
+        if mode not in ("reverse", "shuffle"):
+            raise ValueError(f"mode must be 'reverse' or 'shuffle', got {mode!r}")
+        self.mode = mode
+
+    def apply(self, mole, packet):
+        marks = list(packet.marks)
+        if len(marks) < 2:
+            return packet
+        if self.mode == "reverse":
+            marks.reverse()
+        else:
+            mole.ctx.rng.shuffle(marks)
+        return packet.with_marks(tuple(marks))
+
+
+class MarkAlteringAttack(Attack):
+    """Attack 5: corrupt bytes of existing marks, making them invalid.
+
+    Args:
+        target: which mark to corrupt -- ``"first"`` (most upstream),
+            ``"last"``, or ``"all"``.
+        field: ``"mac"`` or ``"id"``.
+    """
+
+    def __init__(self, target: str = "first", field: str = "mac"):
+        if target not in ("first", "last", "all"):
+            raise ValueError(f"target must be first/last/all, got {target!r}")
+        if field not in ("mac", "id"):
+            raise ValueError(f"field must be 'mac' or 'id', got {field!r}")
+        self.target = target
+        self.field = field
+
+    def _corrupt(self, mark: Mark) -> Mark:
+        if self.field == "mac" and mark.mac:
+            flipped = bytes([mark.mac[0] ^ 0xFF]) + mark.mac[1:]
+            return Mark(id_field=mark.id_field, mac=flipped)
+        flipped = bytes([mark.id_field[0] ^ 0xFF]) + mark.id_field[1:]
+        return Mark(id_field=flipped, mac=mark.mac)
+
+    def apply(self, mole, packet):
+        marks = list(packet.marks)
+        if not marks:
+            return packet
+        if self.target == "all":
+            marks = [self._corrupt(m) for m in marks]
+        elif self.target == "first":
+            marks[0] = self._corrupt(marks[0])
+        else:
+            marks[-1] = self._corrupt(marks[-1])
+        return packet.with_marks(tuple(marks))
+
+
+class SelectiveDroppingAttack(Attack):
+    """Attack 6: drop exactly the packets whose marks would implicate you.
+
+    The mole reads the plain-text ID list and drops any packet carrying a
+    mark from a node in ``drop_if_marked_by`` (e.g. every node upstream of
+    the innocent node it wants the trace to stop at).  Against PNM the IDs
+    are anonymous and per-message, so the mole cannot evaluate its
+    predicate; it forwards everything -- precisely the paper's argument
+    for anonymizing IDs.
+
+    Args:
+        drop_if_marked_by: plain node IDs whose marks trigger a drop.
+    """
+
+    def __init__(self, drop_if_marked_by: Sequence[int]):
+        if not drop_if_marked_by:
+            raise ValueError("drop_if_marked_by must not be empty")
+        self.drop_if_marked_by = frozenset(drop_if_marked_by)
+
+    def apply(self, mole, packet):
+        fmt = mole.scheme.fmt
+        if fmt.anonymous:
+            # IDs are anonymized per message; the predicate is unreadable.
+            return packet
+        for mark in packet.marks:
+            if not mark.matches_format(fmt):
+                continue
+            if fmt.decode_node_id(mark.id_field) in self.drop_if_marked_by:
+                return None
+        return packet
+
+
+class IdentitySwappingAttack(Attack):
+    """Attack 7: leave *valid* marks under a colluding partner's identity.
+
+    Both moles hold both keys, so each can mark as either identity.  Over
+    many packets the sink observes contradictory orders (S before X and X
+    before S), creating a loop in the reconstructed route (Figure 2).  PNM
+    detects the loop and localizes to its attachment point.
+
+    Args:
+        partner_id: the other mole whose identity is borrowed.
+        swap_prob: probability of marking as the partner instead of self.
+        mark_prob: probability of marking at all; ``None`` follows the
+            deployed scheme's marking probability (blend in with honest
+            traffic).
+    """
+
+    def __init__(
+        self,
+        partner_id: int,
+        swap_prob: float = 0.5,
+        mark_prob: float | None = None,
+    ):
+        if not 0.0 <= swap_prob <= 1.0:
+            raise ValueError(f"swap_prob must be in [0, 1], got {swap_prob}")
+        if mark_prob is not None and not 0.0 <= mark_prob <= 1.0:
+            raise ValueError(f"mark_prob must be in [0, 1], got {mark_prob}")
+        self.partner_id = partner_id
+        self.swap_prob = swap_prob
+        self.mark_prob = mark_prob
+
+    def apply(self, mole, packet):
+        mark_prob = (
+            self.mark_prob if self.mark_prob is not None else mole.scheme.mark_prob
+        )
+        if mole.ctx.rng.random() >= mark_prob:
+            return packet
+        if mole.ctx.rng.random() < self.swap_prob:
+            partner_ctx = NodeContext(
+                node_id=self.partner_id,
+                key=mole.coalition.key_of(self.partner_id),
+                provider=mole.ctx.provider,
+                rng=mole.ctx.rng,
+            )
+            return packet.with_mark(mole.scheme.make_mark(partner_ctx, packet))
+        return packet.with_mark(mole.scheme.make_mark(mole.ctx, packet))
+
+
+class UnprotectedBitAlteringAttack(Attack):
+    """Theorem 3's attack: alter only bytes later marks do not protect.
+
+    Against a scheme whose MACs cover fewer fields than nested marking
+    (e.g. :class:`~repro.marking.weakened.PartiallyNestedMarking`, which
+    omits previous MAC bytes), corrupting exactly the unprotected bytes
+    invalidates the victim's mark while every downstream MAC stays valid --
+    so the sink traces to an innocent node and cannot continue (the scheme
+    is not consecutive traceable).  Against full nested marking the very
+    same manipulation invalidates all downstream MACs and the trace stops
+    next to the mole.
+
+    The mole then marks validly itself, maximizing how far downstream the
+    bogus evidence is trusted.
+
+    Args:
+        victim_index: which existing mark to corrupt (0 = most upstream).
+        also_mark: whether the mole leaves its own valid mark afterwards.
+    """
+
+    def __init__(self, victim_index: int = 0, also_mark: bool = True):
+        if victim_index < 0:
+            raise ValueError(f"victim_index must be >= 0, got {victim_index}")
+        self.victim_index = victim_index
+        self.also_mark = also_mark
+
+    def apply(self, mole, packet):
+        marks = list(packet.marks)
+        if self.victim_index < len(marks):
+            victim = marks[self.victim_index]
+            if victim.mac:
+                corrupted = Mark(
+                    id_field=victim.id_field,
+                    mac=bytes([victim.mac[0] ^ 0xFF]) + victim.mac[1:],
+                )
+                marks[self.victim_index] = corrupted
+        packet = packet.with_marks(tuple(marks))
+        if self.also_mark:
+            packet = packet.with_mark(mole.scheme.make_mark(mole.ctx, packet))
+        return packet
+
+
+class CompositeAttack(Attack):
+    """Apply several attacks in sequence (coordinated manipulation)."""
+
+    def __init__(self, attacks: Sequence[Attack]):
+        if not attacks:
+            raise ValueError("composite needs at least one attack")
+        self.attacks = list(attacks)
+
+    def apply(self, mole, packet):
+        for attack in self.attacks:
+            result = attack.apply(mole, packet)
+            if result is None:
+                return None
+            packet = result
+        return packet
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.attacks)
+        return f"CompositeAttack([{inner}])"

@@ -1,0 +1,58 @@
+"""Mole coalitions: shared compromised key material.
+
+Compromised nodes "can not only share their secret keys, but also
+manipulate packets in a coordinated manner" (Section 1).  A
+:class:`Coalition` is the shared state: every member knows every other
+member's ID and key, which enables identity swapping (attack 7) and
+coordinated selective dropping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["Coalition"]
+
+
+class Coalition:
+    """The set of compromised nodes and their pooled keys.
+
+    Args:
+        member_keys: mapping of compromised node ID to that node's secret
+            key (as extracted from the captured hardware).
+    """
+
+    def __init__(self, member_keys: Mapping[int, bytes]):
+        if not member_keys:
+            raise ValueError("a coalition needs at least one mole")
+        self._keys = dict(member_keys)
+
+    @property
+    def mole_ids(self) -> frozenset[int]:
+        """IDs of all compromised nodes."""
+        return frozenset(self._keys)
+
+    def key_of(self, node_id: int) -> bytes:
+        """The compromised key of a coalition member.
+
+        Raises:
+            KeyError: if the node is not compromised (moles do *not* hold
+                keys of uncompromised nodes -- the security of PNM rests on
+                exactly this).
+        """
+        try:
+            return self._keys[node_id]
+        except KeyError:
+            raise KeyError(
+                f"node {node_id} is not in the coalition; moles cannot use "
+                f"keys of uncompromised nodes"
+            ) from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:
+        return f"Coalition(moles={sorted(self._keys)})"

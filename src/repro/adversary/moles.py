@@ -1,0 +1,140 @@
+"""Mole node behaviors: compromised forwarders and sources.
+
+A :class:`ForwardingMole` plugs into the same forwarding slot as an
+:class:`~repro.sim.behaviors.HonestForwarder` but delegates to an
+:class:`~repro.adversary.attacks.Attack`.  Source-side misbehavior wraps a
+report source: :class:`MoleReportSource` lets the injecting mole manipulate
+its own packets before they leave (e.g. mark under a swapped identity, or
+pre-load fake marks), and :class:`ReplayingSource` replays previously
+captured legitimate packets, marks and all (Section 7, Replay Attacks).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.adversary.attacks import Attack
+from repro.adversary.coalition import Coalition
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.packets.packet import MarkedPacket
+from repro.sim.sources import ReportSource
+
+__all__ = ["ForwardingMole", "MoleReportSource", "ReplayingSource"]
+
+
+class ForwardingMole:
+    """A compromised forwarding node driven by an attack strategy.
+
+    Args:
+        ctx: the mole's own identity and (compromised) key.
+        scheme: the deployed marking scheme -- the protocol is public, so
+            the mole can produce protocol-conformant marks at will.
+        attack: the manipulation strategy.
+        coalition: pooled keys of all colluding moles; defaults to a
+            coalition containing only this mole.
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        scheme: MarkingScheme,
+        attack: Attack,
+        coalition: Coalition | None = None,
+    ):
+        self.ctx = ctx
+        self.scheme = scheme
+        self.attack = attack
+        self.coalition = (
+            coalition
+            if coalition is not None
+            else Coalition({ctx.node_id: ctx.key})
+        )
+        self.packets_seen = 0
+        self.packets_dropped = 0
+
+    @property
+    def node_id(self) -> int:
+        return self.ctx.node_id
+
+    def forward(self, packet: MarkedPacket) -> MarkedPacket | None:
+        """Run the attack on one packet; ``None`` means it was dropped."""
+        self.packets_seen += 1
+        result = self.attack.apply(self, packet)
+        if result is None:
+            self.packets_dropped += 1
+        return result
+
+    def __repr__(self) -> str:
+        return f"ForwardingMole(node={self.node_id}, attack={self.attack!r})"
+
+
+class MoleReportSource:
+    """A source mole that manipulates its own packets before injection.
+
+    The injecting mole runs the same attack machinery as a forwarding mole
+    on each packet it fabricates -- e.g. an
+    :class:`~repro.adversary.attacks.IdentitySwappingAttack` to pre-mark
+    under a partner's identity, or a
+    :class:`~repro.adversary.attacks.MarkInsertionAttack` to fake a longer
+    upstream path.  An attack that returns ``None`` (drop) is treated as
+    "inject unmodified": a source never drops its own attack traffic.
+
+    Args:
+        inner: the bogus-report generator.
+        mole: a forwarding-mole shell holding the attack and key material
+            (its ``node_id`` should match ``inner``'s).
+    """
+
+    def __init__(self, inner: ReportSource, mole: ForwardingMole):
+        if inner.node_id != mole.node_id:
+            raise ValueError(
+                f"source node {inner.node_id} and mole node {mole.node_id} differ"
+            )
+        self.inner = inner
+        self.mole = mole
+
+    @property
+    def node_id(self) -> int:
+        return self.inner.node_id
+
+    def next_packet(self, timestamp: int) -> MarkedPacket:
+        """Fabricate one report and run the attack over it before injection."""
+        packet = self.inner.next_packet(timestamp)
+        manipulated = self.mole.attack.apply(self.mole, packet)
+        return manipulated if manipulated is not None else packet
+
+
+class ReplayingSource:
+    """A source mole replaying captured legitimate packets (Section 7).
+
+    Replayed packets carry stale-but-valid marks from the original path, so
+    naive traceback would chase the original (innocent) route.  The paper's
+    countermeasures -- duplicate suppression and one-time sequence numbers
+    -- are exercised against this source in the filtering tests.
+
+    Args:
+        node_id: the replaying mole.
+        captured: packets previously overheard (with their marks).
+        rng: choice of which capture to replay each time.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        captured: Sequence[MarkedPacket],
+        rng: random.Random,
+    ):
+        if not captured:
+            raise ValueError("need at least one captured packet to replay")
+        self.node_id = node_id
+        self._captured = list(captured)
+        self._rng = rng
+        self.replays = 0
+
+    def next_packet(self, timestamp: int) -> MarkedPacket:
+        """Replay one captured packet, stale marks and timestamp included."""
+        self.replays += 1
+        # Replays are byte-identical to the capture: the mole cannot
+        # re-stamp the timestamp without invalidating the captured marks.
+        return self._rng.choice(self._captured)

@@ -1,0 +1,35 @@
+"""Analytical models.
+
+Closed-form and numerical companions to the simulations:
+
+* :mod:`repro.analysis.collection` -- Section 6.1's mark-collection
+  probability (Figure 4) and expected collection time.
+* :mod:`repro.analysis.identification` -- an independent-nodes
+  approximation of the Figure 6/7 "unequivocal identification" criterion.
+* :mod:`repro.analysis.overhead` -- per-packet marking overhead in bytes.
+* :mod:`repro.analysis.cost` -- the Section 4.2 sink verification cost
+  model (anonymous-ID table builds vs. radio-limited packet rate).
+"""
+
+from repro.analysis.collection import (
+    collection_probability,
+    expected_packets_all_marks,
+    packets_for_confidence,
+)
+from repro.analysis.cost import SinkCostModel
+from repro.analysis.identification import (
+    expected_packets_to_identify,
+    identification_probability,
+)
+from repro.analysis.overhead import expected_marks_per_packet, marking_overhead_bytes
+
+__all__ = [
+    "collection_probability",
+    "packets_for_confidence",
+    "expected_packets_all_marks",
+    "identification_probability",
+    "expected_packets_to_identify",
+    "expected_marks_per_packet",
+    "marking_overhead_bytes",
+    "SinkCostModel",
+]

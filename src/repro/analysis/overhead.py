@@ -1,0 +1,45 @@
+"""Marking overhead accounting.
+
+PNM's whole point of being probabilistic is overhead: deterministic nested
+marking costs one mark per hop, so a packet crossing ``n`` hops carries
+``n`` marks; probabilistic marking with ``n * p = c`` carries ``c`` marks
+on average regardless of path length (Section 4.2 fixes ``c = 3``).
+"""
+
+from __future__ import annotations
+
+from repro.packets.marks import MarkFormat
+
+__all__ = [
+    "expected_marks_per_packet",
+    "marking_overhead_bytes",
+    "probability_for_target_marks",
+]
+
+
+def expected_marks_per_packet(n: int, p: float) -> float:
+    """Average marks carried by a packet after ``n`` hops at probability ``p``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    return n * p
+
+
+def probability_for_target_marks(n: int, target_marks: float) -> float:
+    """The marking probability that yields ``target_marks`` per packet.
+
+    The paper's experiments "set the marking probability p such that a
+    packet always carries 3 marks on average" -- i.e. ``p = 3 / n``,
+    capped at 1 for very short paths.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if target_marks <= 0:
+        raise ValueError(f"target_marks must be positive, got {target_marks}")
+    return min(1.0, target_marks / n)
+
+
+def marking_overhead_bytes(n: int, p: float, fmt: MarkFormat) -> float:
+    """Expected mark bytes added to a packet crossing ``n`` hops."""
+    return expected_marks_per_packet(n, p) * fmt.mark_len

@@ -1,0 +1,268 @@
+"""Materializing scenarios into runnable pipelines.
+
+Builds the full object graph for a :class:`~repro.core.scenario.Scenario`:
+linear-path topology, per-node keys and RNGs, the marking scheme, honest
+forwarders, the colluding moles with their attack, the traceback sink, and
+the path pipeline tying them together.
+
+Node IDs on the built path equal their 1-based path position: forwarder
+``V_i`` has ID ``i`` (``V_1`` next to the source, ``V_n`` next to the
+sink); the source mole has ID ``n + 1``; the sink is ``0``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.adversary.attacks import (
+    Attack,
+    HonestBehaviorAttack,
+    IdentitySwappingAttack,
+    MarkAlteringAttack,
+    MarkInsertionAttack,
+    MarkRemovalAttack,
+    MarkReorderingAttack,
+    NoMarkAttack,
+    SelectiveDroppingAttack,
+    TargetedMarkRemovalAttack,
+    UnprotectedBitAlteringAttack,
+)
+from repro.adversary.coalition import Coalition
+from repro.adversary.moles import ForwardingMole, MoleReportSource
+from repro.core.scenario import Scenario
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import HmacProvider, MacProvider, NullMacProvider
+from repro.marking import scheme_by_name
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.net.topology import Topology, linear_path_topology
+from repro.routing.tree import build_routing_tree
+from repro.sim.behaviors import ForwardingBehavior, HonestForwarder
+from repro.sim.pipeline import PathPipeline
+from repro.sim.sources import BogusReportSource
+from repro.traceback.sink import TracebackSink
+
+__all__ = ["BuiltScenario", "build_scenario"]
+
+
+@dataclass
+class BuiltScenario:
+    """Everything a scenario run needs, fully wired.
+
+    Attributes:
+        scenario: the declaration this was built from.
+        topology: the linear-path deployment.
+        source_id: the injecting source mole's node ID.
+        path: forwarder IDs in path order (``V_1 .. V_n``).
+        mole_ids: all compromised nodes (source plus any forwarding mole).
+        scheme: the deployed marking scheme instance.
+        provider: the MAC provider in use.
+        keystore: the sink's key table.
+        pipeline: the runnable path pipeline.
+        sink: the traceback sink (also reachable via ``pipeline.sink``).
+    """
+
+    scenario: Scenario
+    topology: Topology
+    source_id: int
+    path: list[int]
+    mole_ids: frozenset[int]
+    scheme: MarkingScheme
+    provider: MacProvider
+    keystore: KeyStore
+    pipeline: PathPipeline
+    sink: TracebackSink
+
+
+def _make_scheme(sc: Scenario) -> MarkingScheme:
+    prob = sc.resolved_mark_prob
+    kwargs: dict[str, object]
+    if sc.scheme == "none":
+        kwargs = {"id_len": sc.id_len}
+    elif sc.scheme == "ppm":
+        kwargs = {"mark_prob": prob, "id_len": sc.id_len}
+    elif sc.scheme == "ams":
+        kwargs = {"mark_prob": prob, "id_len": sc.id_len, "mac_len": sc.mac_len}
+    elif sc.scheme in ("nested", "partial-nested"):
+        kwargs = {"id_len": sc.id_len, "mac_len": sc.mac_len}
+    elif sc.scheme == "naive-pnm":
+        kwargs = {"mark_prob": prob, "id_len": sc.id_len, "mac_len": sc.mac_len}
+    elif sc.scheme == "pnm":
+        kwargs = {
+            "mark_prob": prob,
+            "anon_id_len": sc.anon_id_len,
+            "mac_len": sc.mac_len,
+        }
+    else:
+        raise ValueError(f"unknown scheme {sc.scheme!r}")
+    return scheme_by_name(sc.scheme, **kwargs)
+
+
+def _make_provider(sc: Scenario) -> MacProvider:
+    if sc.crypto == "real":
+        return HmacProvider(mac_len=sc.mac_len, anon_id_len=sc.anon_id_len)
+    return NullMacProvider(mac_len=sc.mac_len, anon_id_len=sc.anon_id_len)
+
+
+def _node_rng(seed: int, node_id: int) -> random.Random:
+    return random.Random(f"{seed}:node:{node_id}")
+
+
+def _make_attacks(
+    sc: Scenario,
+    path: list[int],
+    source_id: int,
+    mole_id: int,
+) -> tuple[Attack | None, Attack | None]:
+    """Build (forwarding-mole attack, source-side attack) for the scenario."""
+    params = dict(sc.attack_params)
+    name = sc.attack
+    if name == "none":
+        return None, None
+    if name == "honest-mole":
+        return HonestBehaviorAttack(), None
+    if name == "no-mark":
+        return NoMarkAttack(), None
+    if name == "insert-garbage":
+        return MarkInsertionAttack(num_fake=params.get("num_fake", 2)), None
+    if name == "insert-frame":
+        victims = params.get("victims") or [path[-1]]
+        return (
+            MarkInsertionAttack(
+                num_fake=params.get("num_fake", len(victims)),
+                claim_ids=victims,
+                # Splice the fakes in front of the honest marks so the
+                # victim appears most upstream: the strongest framing play
+                # against unauthenticated marking.
+                position="prepend",
+            ),
+            None,
+        )
+    if name == "remove-upstream":
+        return MarkRemovalAttack(num_remove=params.get("num_remove", 1)), None
+    if name == "remove-targeted":
+        remove_ids = params.get("remove_ids") or [path[0]]
+        return TargetedMarkRemovalAttack(remove_ids=remove_ids), None
+    if name == "remove-all":
+        return MarkRemovalAttack(num_remove=None), None
+    if name == "remove-remark":
+        return MarkRemovalAttack(num_remove=None, also_mark=True), None
+    if name == "reorder":
+        return MarkReorderingAttack(mode=params.get("mode", "reverse")), None
+    if name == "alter":
+        return (
+            MarkAlteringAttack(
+                target=params.get("target", "first"),
+                field=params.get("field", "mac"),
+            ),
+            None,
+        )
+    if name == "selective-drop":
+        frame_position = params.get("frame_position", 2)
+        if not 2 <= frame_position <= len(path):
+            raise ValueError(
+                f"frame_position must be in [2, {len(path)}], got {frame_position}"
+            )
+        # Drop every packet carrying a mark from a node upstream of the
+        # frame target V_frame_position, so the trace stops at the target.
+        upstream = path[: frame_position - 1]
+        return SelectiveDroppingAttack(drop_if_marked_by=upstream), None
+    if name == "identity-swap":
+        swap_prob = params.get("swap_prob", 0.5)
+        mark_prob = params.get("mark_prob")
+        return (
+            IdentitySwappingAttack(
+                partner_id=source_id, swap_prob=swap_prob, mark_prob=mark_prob
+            ),
+            IdentitySwappingAttack(
+                partner_id=mole_id, swap_prob=swap_prob, mark_prob=mark_prob
+            ),
+        )
+    if name == "unprotected-alter":
+        return (
+            UnprotectedBitAlteringAttack(
+                victim_index=params.get("victim_index", 0),
+                also_mark=params.get("also_mark", True),
+            ),
+            None,
+        )
+    raise ValueError(f"unknown attack {name!r}")
+
+
+def build_scenario(sc: Scenario) -> BuiltScenario:
+    """Materialize ``sc`` into a runnable pipeline (see module docstring)."""
+    topology, source_id = linear_path_topology(sc.n_forwarders)
+    routing = build_routing_tree(topology)
+    path = routing.forwarders_between(source_id)
+
+    provider = _make_provider(sc)
+    scheme = _make_scheme(sc)
+    master_secret = b"pnm-deployment-" + sc.seed.to_bytes(8, "big", signed=True)
+    keystore = KeyStore.from_master_secret(master_secret, topology.sensor_nodes())
+
+    mole_position = sc.resolved_mole_position
+    mole_id = path[mole_position - 1]
+    forwarding_attack, source_attack = _make_attacks(sc, path, source_id, mole_id)
+
+    mole_ids = {source_id}
+    coalition_keys = {source_id: keystore[source_id]}
+    if forwarding_attack is not None:
+        mole_ids.add(mole_id)
+        coalition_keys[mole_id] = keystore[mole_id]
+    coalition = Coalition(coalition_keys)
+
+    def ctx_for(node_id: int) -> NodeContext:
+        return NodeContext(
+            node_id=node_id,
+            key=keystore[node_id],
+            provider=provider,
+            rng=_node_rng(sc.seed, node_id),
+        )
+
+    forwarders: list[ForwardingBehavior] = []
+    for node_id in path:
+        if forwarding_attack is not None and node_id == mole_id:
+            forwarders.append(
+                ForwardingMole(
+                    ctx=ctx_for(node_id),
+                    scheme=scheme,
+                    attack=forwarding_attack,
+                    coalition=coalition,
+                )
+            )
+        else:
+            forwarders.append(HonestForwarder(ctx=ctx_for(node_id), scheme=scheme))
+
+    source = BogusReportSource(
+        node_id=source_id,
+        claimed_location=topology.position(source_id),
+        rng=_node_rng(sc.seed, source_id),
+    )
+    if source_attack is not None:
+        source_shell = ForwardingMole(
+            ctx=ctx_for(source_id),
+            scheme=scheme,
+            attack=source_attack,
+            coalition=coalition,
+        )
+        source = MoleReportSource(inner=source, mole=source_shell)
+
+    sink = TracebackSink(
+        scheme=scheme,
+        keystore=keystore,
+        provider=provider,
+        topology=topology,
+    )
+    pipeline = PathPipeline(source=source, forwarders=forwarders, sink=sink)
+    return BuiltScenario(
+        scenario=sc,
+        topology=topology,
+        source_id=source_id,
+        path=path,
+        mole_ids=frozenset(mole_ids),
+        scheme=scheme,
+        provider=provider,
+        keystore=keystore,
+        pipeline=pipeline,
+        sink=sink,
+    )

@@ -1,0 +1,126 @@
+"""``pnm-scenario``: run a single attack/defense scenario from the shell.
+
+Examples::
+
+    pnm-scenario --scheme pnm --attack selective-drop -n 20
+    pnm-scenario --scheme ams --attack remove-targeted -n 12 --packets 400
+    pnm-scenario --scheme nested --attack identity-swap --mole-position 4 -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiment import run_scenario
+from repro.core.scenario import ATTACK_NAMES, Scenario
+from repro.marking import SCHEME_CLASSES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pnm-scenario",
+        description="Run one colluding-mole scenario and score the traceback.",
+    )
+    parser.add_argument(
+        "-n",
+        "--forwarders",
+        type=int,
+        default=20,
+        help="path length n (forwarders between source mole and sink)",
+    )
+    parser.add_argument(
+        "--scheme",
+        default="pnm",
+        choices=sorted(SCHEME_CLASSES),
+        help="deployed marking scheme",
+    )
+    parser.add_argument(
+        "--attack",
+        default="none",
+        choices=list(ATTACK_NAMES),
+        help="the colluding forwarding mole's strategy",
+    )
+    parser.add_argument(
+        "--mole-position",
+        type=int,
+        default=None,
+        help="1-based path position of the forwarding mole (default: mid-path)",
+    )
+    parser.add_argument(
+        "--mark-prob",
+        type=float,
+        default=None,
+        help="marking probability p (default: 3/n, the paper's setting)",
+    )
+    parser.add_argument("--packets", type=int, default=300, help="injection budget")
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print the route analysis details",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        scenario = Scenario(
+            n_forwarders=args.forwarders,
+            scheme=args.scheme,
+            attack=args.attack,
+            mole_position=args.mole_position,
+            mark_prob=args.mark_prob,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.core.build import build_scenario
+
+    built = build_scenario(scenario)
+    result = run_scenario(scenario, num_packets=args.packets, built=built)
+
+    print(
+        f"scenario: {args.scheme} vs {args.attack} on a "
+        f"{args.forwarders}-forwarder chain "
+        f"(p={scenario.resolved_mark_prob:.3f}, seed={args.seed})"
+    )
+    print(f"moles: source={built.source_id}" + (
+        f", forwarder=V{scenario.resolved_mole_position}"
+        if args.attack != "none"
+        else " (no forwarding mole)"
+    ))
+    print(
+        f"traffic: {result.packets_sent} injected, "
+        f"{result.packets_delivered} delivered"
+    )
+    print(f"outcome: {result.outcome.upper()}")
+    if result.identified:
+        print(
+            f"suspect neighborhood: center {result.suspect_center}, "
+            f"members {sorted(result.suspect_members)}"
+        )
+        guilty = sorted(result.suspect_members & result.mole_ids)
+        if guilty:
+            print(f"moles implicated: {guilty}")
+        else:
+            print("!! all suspects are innocent: the attack framed them")
+    if result.loop_detected:
+        print("identity-swapping loop detected during reconstruction")
+    if args.verbose:
+        analysis = built.sink.route_analysis()
+        print(f"observed markers: {sorted(analysis.observed)}")
+        print(f"source candidates: {sorted(analysis.source_candidates)}")
+        print(f"tampered packets: {built.sink.tampered_packets}")
+    return 0 if result.outcome in ("caught", "suppressed") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Running scenarios and scoring their outcomes.
+
+A run injects a budget of bogus packets and asks the sink for its verdict.
+The score distinguishes the three outcomes that matter for the security
+matrix:
+
+* **caught** -- the suspect neighborhood contains at least one true mole
+  (the paper's success criterion: one-hop precision).
+* **framed** -- the sink identified a suspect neighborhood containing *no*
+  mole: the attack successfully redirected punishment onto innocents.
+* **unidentified** -- the verdict never singled out a neighborhood within
+  the packet budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.build import BuiltScenario, build_scenario
+from repro.core.scenario import Scenario
+
+__all__ = ["ExperimentResult", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Scored outcome of one scenario run.
+
+    Attributes:
+        scenario: the configuration that ran.
+        mole_ids: ground-truth compromised nodes.
+        packets_sent: packets the source injected.
+        packets_delivered: packets that survived to the sink.
+        identified: whether the final verdict names a suspect neighborhood.
+        suspect_center: the neighborhood's center node (when identified).
+        suspect_members: the full suspect set (empty when unidentified).
+        caught: identified and a mole is in the suspect set.
+        framed: identified and no mole is in the suspect set.
+        loop_detected: identity-swapping loop observed.
+        single_packet_caught: whether the *last packet alone* implicated a
+            mole (meaningful for deterministic nested marking's
+            single-packet traceback; None if no packet arrived).
+        observed_nodes: how many distinct markers the sink verified.
+    """
+
+    scenario: Scenario
+    mole_ids: frozenset[int]
+    packets_sent: int
+    packets_delivered: int
+    identified: bool
+    suspect_center: int | None
+    suspect_members: frozenset[int]
+    caught: bool
+    framed: bool
+    loop_detected: bool
+    single_packet_caught: bool | None
+    observed_nodes: int
+
+    @property
+    def outcome(self) -> str:
+        """One of ``caught``, ``framed``, ``suppressed``, ``unidentified``.
+
+        ``suppressed`` means no attack packet reached the sink at all: the
+        mole's only way to hide was to drop everything, which defeats the
+        injection attack itself (the paper's footnote 2 case).
+        """
+        if self.packets_delivered == 0:
+            return "suppressed"
+        if self.caught:
+            return "caught"
+        if self.framed:
+            return "framed"
+        return "unidentified"
+
+
+def run_scenario(
+    sc: Scenario,
+    num_packets: int = 300,
+    built: BuiltScenario | None = None,
+) -> ExperimentResult:
+    """Build (unless given), run and score a scenario.
+
+    Args:
+        sc: the configuration.
+        num_packets: injection budget.
+        built: reuse an existing build (e.g. to continue a run).
+    """
+    if num_packets < 1:
+        raise ValueError(f"num_packets must be >= 1, got {num_packets}")
+    b = built if built is not None else build_scenario(sc)
+    b.pipeline.push_many(num_packets)
+
+    verdict = b.sink.verdict()
+    suspect = verdict.suspect
+    members = frozenset(suspect.members) if suspect is not None else frozenset()
+    caught = bool(members & b.mole_ids)
+    framed = bool(members) and not caught
+
+    single = b.sink.last_packet_suspect()
+    single_caught = (
+        bool(single.members & b.mole_ids) if single is not None else None
+    )
+
+    return ExperimentResult(
+        scenario=sc,
+        mole_ids=b.mole_ids,
+        packets_sent=b.pipeline.metrics.packets_injected,
+        packets_delivered=b.pipeline.metrics.packets_delivered,
+        identified=verdict.identified,
+        suspect_center=suspect.center if suspect is not None else None,
+        suspect_members=members,
+        caught=caught,
+        framed=framed,
+        loop_detected=verdict.loop_detected,
+        single_packet_caught=single_caught,
+        observed_nodes=b.sink.precedence.observed_count(),
+    )

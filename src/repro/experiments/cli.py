@@ -1,0 +1,125 @@
+"""``pnm-experiment``: command-line front end for the experiment harness.
+
+Examples::
+
+    pnm-experiment fig6 --preset quick
+    pnm-experiment fig7 --preset full        # the paper's exact run sizes
+    pnm-experiment security-matrix
+    pnm-experiment all --preset ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablations,
+    approaches,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    filtering_interplay,
+    multisource_exp,
+    overhead_table,
+    security_matrix,
+    sink_cost,
+)
+from repro.experiments.presets import Preset, preset_by_name
+from repro.experiments.tables import FigureResult
+
+__all__ = ["main"]
+
+_SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "security-matrix": security_matrix.run,
+    "sink-cost": sink_cost.run,
+    "approaches": approaches.run,
+    "overhead": overhead_table.run,
+    "filtering-interplay": filtering_interplay.run,
+    "multi-source": multisource_exp.run,
+}
+
+_ABLATION_RUNNERS: dict[str, Callable[..., FigureResult]] = {
+    "ablation-mark-prob": ablations.marking_probability_sweep,
+    "ablation-anonymity": ablations.anonymity_ablation,
+    "ablation-nesting": ablations.nesting_ablation,
+    "ablation-resolver": ablations.resolver_ablation,
+    "ablation-mark-length": ablations.mark_length_ablation,
+    "ablation-mole-placement": ablations.mole_placement_ablation,
+    "ablation-route-dynamics": ablations.route_dynamics_ablation,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pnm-experiment",
+        description=(
+            "Regenerate the evaluation of 'Catching Moles in Sensor "
+            "Networks' (ICDCS 2007)."
+        ),
+    )
+    experiments = sorted(_SINGLE_RUNNERS) + sorted(_ABLATION_RUNNERS) + ["all"]
+    parser.add_argument(
+        "experiment",
+        choices=experiments,
+        help="which figure/claim to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=["full", "quick", "ci"],
+        help="Monte Carlo sizes: 'full' matches the paper's 5000-run setup",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render an ASCII chart of each numeric series",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="additionally append the rendered tables to FILE",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    preset = preset_by_name(args.preset)
+
+    if args.experiment == "all":
+        names = sorted(_SINGLE_RUNNERS) + sorted(_ABLATION_RUNNERS)
+    else:
+        names = [args.experiment]
+
+    sections: list[str] = []
+    for name in names:
+        runner = _SINGLE_RUNNERS.get(name) or _ABLATION_RUNNERS[name]
+        result = runner(preset)
+        rendered = result.render()
+        if args.plot:
+            from repro.experiments.plotting import render_figure_chart
+
+            try:
+                rendered += "\n" + render_figure_chart(result)
+            except ValueError:
+                pass  # nothing numeric to chart (e.g. the security matrix)
+        print(rendered)
+        print()
+        sections.append(rendered)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Vectorized Monte Carlo engine for the paper's statistical figures.
+
+Figures 5-7 need millions of packet trials (5000 runs x 800 packets x up
+to 50 hops), which the object-level pipeline would take hours to produce
+in pure Python.  On the paper's honest evaluation path (a source mole
+injecting through honest forwarders, no manipulation) the entire process
+reduces to independent Bernoulli(p) marking coins, so it can be simulated
+exactly with numpy and interpreted with two per-node first-passage times:
+
+* ``first_obs[j]`` -- first packet in which forwarder ``V_{j+1}`` marks
+  (its mark is *observed* by the sink).
+* ``first_inc[j]`` -- first packet in which ``V_{j+1}`` marks together
+  with at least one node upstream of it; in that packet the mark directly
+  before ``V_{j+1}``'s belongs to an upstream node, giving the precedence
+  graph an *incoming edge* for ``V_{j+1}``.
+
+The sink has unequivocally (and stably) identified the source once
+``V_1`` is observed and every other observed forwarder has an incoming
+edge -- then and only then does the precedence graph have a unique most
+upstream node.  ``tests/test_experiments/test_fastpath_agreement.py``
+cross-validates these statistics against the full object pipeline.
+
+Index convention: times are 0-based packet indices; ``-1`` means "never
+within the budget".  Reported packet *counts* are index + 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FirstPassageTimes",
+    "simulate_first_times",
+    "identification_times",
+    "failure_counts",
+    "collection_curve",
+]
+
+_DEFAULT_CHUNK = 256
+
+
+@dataclass
+class FirstPassageTimes:
+    """Per-run first-passage statistics of the marking process.
+
+    Attributes:
+        n: path length (forwarders).
+        p: marking probability.
+        packets: budget simulated.
+        first_obs: ``(runs, n)`` int32; first packet where node j marked.
+        first_inc: ``(runs, n)`` int32; first packet where node j marked
+            alongside an upstream marker.  Column 0 is always ``-1``
+            (``V_1`` has no upstream forwarder).
+    """
+
+    n: int
+    p: float
+    packets: int
+    first_obs: np.ndarray
+    first_inc: np.ndarray
+
+    @property
+    def runs(self) -> int:
+        return self.first_obs.shape[0]
+
+
+def _first_true(mask: np.ndarray) -> np.ndarray:
+    """First True index along axis 1, ``-1`` when the column is all False."""
+    hit = mask.any(axis=1)
+    idx = mask.argmax(axis=1).astype(np.int32)
+    idx[~hit] = -1
+    return idx
+
+
+def simulate_first_times(
+    n: int,
+    p: float,
+    packets: int,
+    runs: int,
+    seed: int = 0,
+    chunk: int = _DEFAULT_CHUNK,
+) -> FirstPassageTimes:
+    """Simulate ``runs`` independent paths (see module docstring).
+
+    Args:
+        n: forwarders on the path.
+        p: per-node marking probability.
+        packets: packets injected per run.
+        runs: Monte Carlo repetitions.
+        seed: RNG seed (numpy PCG64).
+        chunk: runs simulated per memory block.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    if packets < 1 or runs < 1:
+        raise ValueError("packets and runs must be >= 1")
+    rng = np.random.default_rng(seed)
+    obs_parts = []
+    inc_parts = []
+    remaining = runs
+    while remaining > 0:
+        block = min(chunk, remaining)
+        marks = rng.random((block, packets, n)) < p
+        # upstream_any[t, j] == marks[t, :j].any(): cumulative count minus self.
+        upstream_any = (np.cumsum(marks, axis=2) - marks) > 0
+        incoming = marks & upstream_any
+        obs_parts.append(
+            np.stack([_first_true(marks[:, :, j]) for j in range(n)], axis=1)
+        )
+        inc_parts.append(
+            np.stack([_first_true(incoming[:, :, j]) for j in range(n)], axis=1)
+        )
+        remaining -= block
+    return FirstPassageTimes(
+        n=n,
+        p=p,
+        packets=packets,
+        first_obs=np.concatenate(obs_parts, axis=0),
+        first_inc=np.concatenate(inc_parts, axis=0),
+    )
+
+
+def identification_times(times: FirstPassageTimes) -> np.ndarray:
+    """Packets needed for stable unequivocal identification, per run.
+
+    A run succeeds when ``V_1`` was observed and every observed forwarder
+    acquired an incoming edge within the budget; its identification time
+    is the packet count at which the last of those conditions became true
+    (and, the process being monotone, stayed true).  Failed runs yield
+    ``nan``.
+    """
+    obs, inc = times.first_obs, times.first_inc
+    observed = obs >= 0
+    # Failure: V_1 never observed, or some observed node never ordered.
+    lacking = observed[:, 1:] & (inc[:, 1:] < 0)
+    failed = (~observed[:, 0]) | lacking.any(axis=1)
+
+    # Stabilization: last of {V_1 observed, each observed node ordered}.
+    inc_effective = np.where(observed[:, 1:], inc[:, 1:], -1)
+    last_needed = np.maximum(
+        obs[:, 0],
+        inc_effective.max(axis=1, initial=-1),
+    ).astype(np.float64)
+    result = last_needed + 1.0  # index -> packet count
+    result[failed] = np.nan
+    return result
+
+
+def failure_counts(times: FirstPassageTimes, budgets: list[int]) -> dict[int, int]:
+    """Runs (out of ``times.runs``) not identified within each budget.
+
+    This is Figure 6's statistic: the run fails at budget ``B`` when the
+    end state after ``B`` packets does not single out ``V_1`` -- either
+    ``V_1`` was not observed, or some node observed within ``B`` packets
+    still lacks an upstream edge.
+    """
+    obs, inc = times.first_obs, times.first_inc
+    counts: dict[int, int] = {}
+    for budget in budgets:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if budget > times.packets:
+            raise ValueError(
+                f"budget {budget} exceeds simulated packets {times.packets}"
+            )
+        v1_ok = (obs[:, 0] >= 0) & (obs[:, 0] < budget)
+        observed = (obs[:, 1:] >= 0) & (obs[:, 1:] < budget)
+        ordered = (inc[:, 1:] >= 0) & (inc[:, 1:] < budget)
+        dangling = (observed & ~ordered).any(axis=1)
+        identified = v1_ok & ~dangling
+        counts[budget] = int((~identified).sum())
+    return counts
+
+
+def collection_curve(
+    n: int,
+    p: float,
+    packets: int,
+    runs: int,
+    seed: int = 0,
+    chunk: int = _DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Figure 5's statistic: mean fraction of forwarders whose marks the
+    sink has collected within the first ``x`` packets, for ``x = 1..packets``.
+
+    Returns:
+        Array of length ``packets``; entry ``x-1`` is the average fraction
+        after ``x`` packets.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    total = np.zeros(packets, dtype=np.float64)
+    remaining = runs
+    while remaining > 0:
+        block = min(chunk, remaining)
+        marks = rng.random((block, packets, n)) < p
+        seen = np.maximum.accumulate(marks, axis=1)
+        total += seen.sum(axis=2).sum(axis=0) / n
+        remaining -= block
+    return total / runs

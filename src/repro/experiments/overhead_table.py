@@ -1,0 +1,94 @@
+"""Marking overhead across schemes and path lengths.
+
+Section 4's motivation for going probabilistic: basic nested marking puts
+one mark on every packet at every hop, so a packet that crosses ``n`` hops
+carries ``n`` marks -- "in large sensor networks this is not efficient" --
+while PNM carries ``n*p = 3`` marks regardless of path length, trading
+single-packet traceback for a ~50-packet traceback.
+
+This experiment measures the real numbers end to end: actual transmitted
+bytes per delivered packet (averaged over a run of the genuine pipeline,
+marks and all), the radio-energy proxy per packet, and the packets the
+sink needs to identify the source -- the complete tradeoff surface.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.identification import expected_packets_to_identify
+from repro.core.build import build_scenario
+from repro.core.scenario import Scenario
+from repro.experiments.presets import QUICK, Preset
+from repro.experiments.tables import FigureResult
+
+__all__ = ["PATH_LENGTHS", "run", "main"]
+
+PATH_LENGTHS = (10, 20, 30)
+_SCHEMES = ("nested", "pnm")
+_PACKETS = 120
+
+
+def run(preset: Preset = QUICK) -> FigureResult:
+    """Measure bytes/energy/traceback-speed per (scheme, path length)."""
+    columns = [
+        "scheme",
+        "path_length",
+        "avg_marks_delivered",
+        "avg_packet_bytes_delivered",
+        "total_bytes_per_packet",
+        "energy_mJ_per_packet",
+        "packets_to_identify",
+    ]
+    rows = []
+    for scheme in _SCHEMES:
+        for n in PATH_LENGTHS:
+            sc = Scenario(
+                n_forwarders=n, scheme=scheme, attack="none", seed=preset.seed
+            )
+            built = build_scenario(sc)
+            delivered_marks = 0
+            delivered_bytes = 0
+            for _ in range(_PACKETS):
+                verification = built.pipeline.push()
+                assert verification is not None
+                delivered_marks += verification.packet.num_marks
+                delivered_bytes += verification.packet.wire_len
+            metrics = built.pipeline.metrics
+            if scheme == "nested":
+                to_identify = 1.0  # single-packet traceback
+            else:
+                to_identify = expected_packets_to_identify(
+                    n, sc.resolved_mark_prob
+                )
+            rows.append(
+                [
+                    scheme,
+                    n,
+                    round(delivered_marks / _PACKETS, 2),
+                    round(delivered_bytes / _PACKETS, 1),
+                    round(metrics.total_bytes / _PACKETS, 1),
+                    round(1e3 * metrics.energy_spent() / _PACKETS, 3),
+                    round(to_identify, 1),
+                ]
+            )
+    return FigureResult(
+        figure_id="overhead",
+        title="Marking overhead vs traceback speed (Section 4's tradeoff)",
+        columns=columns,
+        rows=rows,
+        notes=[
+            f"{_PACKETS} packets per cell through the real pipeline "
+            f"(report 20 bytes; nested mark 6 bytes, PNM mark 8 bytes)",
+            "nested: per-delivered-packet bytes grow linearly with path "
+            "length but one packet suffices to trace; PNM: constant ~3 "
+            "marks regardless of length, traced within a few dozen packets",
+        ],
+    )
+
+
+def main() -> None:
+    """Print the experiment table to stdout."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

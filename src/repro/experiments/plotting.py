@@ -1,0 +1,125 @@
+"""Dependency-free ASCII charts for experiment series.
+
+The figure experiments print tables; for eyeballing shapes in a terminal
+(and in EXPERIMENTS.md code blocks) a rough chart is often clearer.  These
+renderers use plain ASCII so output survives logs and diffs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import FigureResult
+
+__all__ = ["ascii_chart", "render_figure_chart"]
+
+
+def ascii_chart(
+    x: list[float],
+    series: dict[str, list[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render line series as an ASCII scatter chart.
+
+    Args:
+        x: shared x values (ascending).
+        series: label -> y values (same length as ``x``).  Each series
+            plots with its own glyph.
+        width: chart width in columns.
+        height: chart height in rows.
+        x_label: axis annotation.
+        y_label: axis annotation.
+
+    Raises:
+        ValueError: on empty or mismatched inputs.
+    """
+    if not x:
+        raise ValueError("x must not be empty")
+    if not series:
+        raise ValueError("need at least one series")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points, x has {len(x)}"
+            )
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+
+    glyphs = "*o+x#@%&"
+    all_y = [v for ys in series.values() for v in ys if v == v]  # drop NaN
+    if not all_y:
+        raise ValueError("no finite y values to plot")
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, ys) in enumerate(sorted(series.items())):
+        glyph = glyphs[idx % len(glyphs)]
+        for xv, yv in zip(x, ys):
+            if yv != yv:  # NaN
+                continue
+            col = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif i == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row_cells)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_min:g}".ljust(width // 2) + f"{x_max:g}".rjust(width // 2)
+    lines.append(" " * margin + "  " + x_axis)
+    lines.append(" " * margin + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}"
+        for i, label in enumerate(sorted(series))
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_figure_chart(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Chart a :class:`FigureResult` whose first column is the x axis.
+
+    Non-numeric columns are skipped; at least one numeric series must
+    remain.
+    """
+    x_name = result.columns[0]
+    x = [float(v) for v in result.column(x_name)]
+    series: dict[str, list[float]] = {}
+    for name in result.columns[1:]:
+        values = result.column(name)
+        try:
+            series[name] = [float(v) for v in values]
+        except (TypeError, ValueError):
+            continue
+    if not series:
+        raise ValueError(f"{result.figure_id} has no numeric series to chart")
+    chart = ascii_chart(
+        x,
+        series,
+        width=width,
+        height=height,
+        x_label=x_name,
+        y_label="",
+    )
+    return f"== {result.figure_id}: {result.title} ==\n{chart}"

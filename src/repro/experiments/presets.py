@@ -1,0 +1,63 @@
+"""Run-size presets.
+
+``FULL`` matches the paper exactly (5000 runs for Figures 5 and 7, 100 for
+Figure 6, 800-packet budgets).  ``QUICK`` keeps the same estimators with
+fewer runs -- the default for command-line exploration.  ``CI`` is sized
+for test suites and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Preset", "FULL", "QUICK", "CI", "preset_by_name"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Monte Carlo sizes for the figure experiments.
+
+    Attributes:
+        name: preset registry name.
+        runs_fig5: runs per path length for the collection curve.
+        runs_fig6: runs per (path length, budget) cell -- the paper uses
+            100 and reports raw failure counts out of 100.
+        runs_fig7: runs per path length for identification times.
+        budget: packet budget per run (the paper's 800).
+        fig5_packets: x-axis extent for the collection curve.
+        matrix_n: path length for the security matrix.
+        matrix_packets: injection budget per security-matrix cell.
+        seed: base seed for all experiments under this preset.
+    """
+
+    name: str
+    runs_fig5: int
+    runs_fig6: int
+    runs_fig7: int
+    budget: int = 800
+    fig5_packets: int = 60
+    matrix_n: int = 9
+    matrix_packets: int = 400
+    seed: int = 20070625  # ICDCS 2007 conference date
+
+    def __post_init__(self) -> None:
+        for attr in ("runs_fig5", "runs_fig6", "runs_fig7", "budget", "fig5_packets"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1, got {getattr(self, attr)}")
+
+
+FULL = Preset("full", runs_fig5=5000, runs_fig6=100, runs_fig7=5000)
+QUICK = Preset("quick", runs_fig5=800, runs_fig6=100, runs_fig7=800)
+CI = Preset("ci", runs_fig5=120, runs_fig6=60, runs_fig7=120, matrix_packets=300)
+
+_PRESETS = {p.name: p for p in (FULL, QUICK, CI)}
+
+
+def preset_by_name(name: str) -> Preset:
+    """Look up a preset; raises ``KeyError`` with the known names."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(_PRESETS)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Statistical helpers for experiment estimates.
+
+Monte Carlo results deserve error bars: Figure 6 reports binomial counts
+(failures out of N runs) and Figure 7 reports means of skewed positive
+times.  This module provides the two interval estimators the harness
+uses -- Wilson score intervals for proportions (well-behaved at 0 and N,
+unlike the normal approximation) and t-based intervals for means --
+implemented directly so the core experiments stay scipy-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Interval", "wilson_interval", "mean_interval"]
+
+# Two-sided critical z values for common confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval.
+
+    Attributes:
+        estimate: the point estimate.
+        low: interval lower bound.
+        high: interval upper bound.
+        confidence: the level the bounds were computed at.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.3g} [{self.low:.3g}, {self.high:.3g}]"
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return _Z[confidence]
+    except KeyError:
+        known = ", ".join(str(c) for c in sorted(_Z))
+        raise ValueError(
+            f"confidence must be one of {known}, got {confidence}"
+        ) from None
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: observed successes (e.g. failed runs).
+        trials: total trials (e.g. runs).
+        confidence: 0.90, 0.95 or 0.99.
+
+    Raises:
+        ValueError: on impossible counts.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    z = _z_for(confidence)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    spread = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return Interval(
+        estimate=p_hat,
+        low=max(0.0, center - spread),
+        high=min(1.0, center + spread),
+        confidence=confidence,
+    )
+
+
+def mean_interval(values: list[float], confidence: float = 0.95) -> Interval:
+    """Normal-approximation interval for a mean.
+
+    For the experiment sample sizes here (hundreds to thousands of runs)
+    the z and t critical values agree to well under a percent, so the z
+    value is used; with fewer than 2 values the interval degenerates to
+    the point estimate.
+    """
+    if not values:
+        raise ValueError("values must not be empty")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return Interval(estimate=mean, low=mean, high=mean, confidence=confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    z = _z_for(confidence)
+    return Interval(
+        estimate=mean,
+        low=mean - z * sem,
+        high=mean + z * sem,
+        confidence=confidence,
+    )

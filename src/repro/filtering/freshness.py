@@ -1,0 +1,51 @@
+"""Timestamp-freshness filtering: the one-time sequence-number analogue.
+
+Section 7 suggests thwarting replay attacks with "packet sequence numbers
+that can be used one-time only".  Reports already carry a timestamp; a
+forwarding node (or the sink) can therefore reject reports that are too far
+behind the freshest traffic it has observed -- replays necessarily carry
+the original, stale timestamp, since re-stamping would invalidate the
+captured marks.
+"""
+
+from __future__ import annotations
+
+from repro.packets.report import Report
+
+__all__ = ["FreshnessFilter"]
+
+
+class FreshnessFilter:
+    """Rejects reports whose timestamp lags the observed maximum.
+
+    Args:
+        window: how many ticks behind the freshest accepted report a
+            timestamp may be.  Must cover legitimate in-network latency
+            plus clock skew; anything older is treated as a replay.
+    """
+
+    def __init__(self, window: int = 1000):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.window = window
+        self._freshest: int | None = None
+        self.rejected = 0
+
+    def is_fresh(self, report: Report) -> bool:
+        """Check-and-record: whether the report's timestamp is acceptable."""
+        if self._freshest is not None and report.timestamp < self._freshest - self.window:
+            self.rejected += 1
+            return False
+        if self._freshest is None or report.timestamp > self._freshest:
+            self._freshest = report.timestamp
+        return True
+
+    @property
+    def freshest_seen(self) -> int | None:
+        return self._freshest
+
+    def __repr__(self) -> str:
+        return (
+            f"FreshnessFilter(window={self.window}, "
+            f"freshest={self._freshest}, rejected={self.rejected})"
+        )

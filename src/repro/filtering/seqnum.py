@@ -1,0 +1,80 @@
+"""One-time sequence numbers: the Section 7 replay countermeasure.
+
+"A more effective solution can leverage packet sequence numbers that can
+be used one-time only."  The filter remembers, per claimed origin
+location, which (timestamp, report-digest) pairs it has accepted inside a
+sliding freshness window; re-presenting an already-used pair -- which is
+exactly what a byte-identical replay must do, since re-stamping would
+invalidate the captured marks -- is rejected.  Entries older than the
+window are pruned, bounding memory like a sensor implementation would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+from repro.packets.report import Report
+
+__all__ = ["OneTimeSequenceFilter"]
+
+
+class OneTimeSequenceFilter:
+    """Sliding-window one-time-use filter over report identities.
+
+    Args:
+        window: how far behind the freshest accepted timestamp a report
+            may be.  Anything older is rejected outright (stale); anything
+            inside the window is accepted at most once.
+    """
+
+    def __init__(self, window: int = 1000):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.window = window
+        self._seen: set[bytes] = set()
+        self._order: deque[tuple[int, bytes]] = deque()
+        self._freshest: int | None = None
+        self.rejected_stale = 0
+        self.rejected_reused = 0
+
+    @staticmethod
+    def _identity(report: Report) -> bytes:
+        return hashlib.sha256(b"one-time" + report.encode()).digest()[:8]
+
+    def _prune(self) -> None:
+        assert self._freshest is not None
+        horizon = self._freshest - self.window
+        while self._order and self._order[0][0] < horizon:
+            _ts, ident = self._order.popleft()
+            self._seen.discard(ident)
+
+    def accept(self, report: Report) -> bool:
+        """Check-and-record: True exactly once per fresh report."""
+        if (
+            self._freshest is not None
+            and report.timestamp < self._freshest - self.window
+        ):
+            self.rejected_stale += 1
+            return False
+        ident = self._identity(report)
+        if ident in self._seen:
+            self.rejected_reused += 1
+            return False
+        self._seen.add(ident)
+        self._order.append((report.timestamp, ident))
+        if self._freshest is None or report.timestamp > self._freshest:
+            self._freshest = report.timestamp
+            self._prune()
+        return True
+
+    @property
+    def tracked(self) -> int:
+        """Entries currently held (bounded by traffic within the window)."""
+        return len(self._seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"OneTimeSequenceFilter(window={self.window}, tracked={self.tracked}, "
+            f"stale={self.rejected_stale}, reused={self.rejected_reused})"
+        )

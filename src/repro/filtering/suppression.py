@@ -1,0 +1,62 @@
+"""Duplicate message suppression.
+
+Legitimate forwarding nodes drop reports they have recently seen: redundant
+copies waste energy, and replayed packets are byte-identical to their
+originals (a mole cannot re-stamp a captured report without invalidating
+its marks).  Sensor nodes have tiny memories, so the cache is a bounded
+LRU keyed by a digest of the report bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from repro.packets.report import Report
+
+__all__ = ["DuplicateSuppressor"]
+
+
+class DuplicateSuppressor:
+    """Bounded-memory recently-seen-report cache.
+
+    Args:
+        capacity: number of report digests remembered (models the node's
+            scarce RAM; eviction is least-recently-seen).
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._seen: OrderedDict[bytes, None] = OrderedDict()
+        self.duplicates_dropped = 0
+
+    @staticmethod
+    def _digest(report: Report) -> bytes:
+        return hashlib.sha256(report.encode()).digest()[:8]
+
+    def is_duplicate(self, report: Report) -> bool:
+        """Check-and-record: True if ``report`` was seen recently.
+
+        A hit refreshes the entry's recency and increments
+        :attr:`duplicates_dropped` (callers drop on True).
+        """
+        digest = self._digest(report)
+        if digest in self._seen:
+            self._seen.move_to_end(digest)
+            self.duplicates_dropped += 1
+            return True
+        self._seen[digest] = None
+        if len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"DuplicateSuppressor(capacity={self.capacity}, "
+            f"cached={len(self._seen)}, dropped={self.duplicates_dropped})"
+        )

@@ -1,0 +1,15 @@
+"""Mole isolation: the fight-back step after traceback.
+
+Traceback alone "does not eliminate the root causes" (Section 7): once a
+suspect neighborhood is identified, the sink either dispatches a task
+force to physically remove the mole or notifies neighbors not to forward
+its traffic.  The paper leaves the mechanism as future work; this package
+provides a minimal but functional version so the examples can close the
+loop: a revocation list plus a quarantine policy mapping suspect
+neighborhoods onto nodes to cut off.
+"""
+
+from repro.isolation.quarantine import QuarantineManager, QuarantinePolicy
+from repro.isolation.revocation import RevocationList
+
+__all__ = ["RevocationList", "QuarantineManager", "QuarantinePolicy"]

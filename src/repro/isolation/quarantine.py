@@ -1,0 +1,83 @@
+"""Quarantine policy: from suspect neighborhood to isolated nodes.
+
+PNM localizes a mole to a closed one-hop neighborhood, not to a single
+node (a mole can claim different identities to different neighbors,
+Section 7).  A quarantine policy decides how aggressively to act on that:
+
+* ``CENTER_ONLY`` -- quarantine just the stopping node.  Cheapest, but the
+  actual mole may be a neighbor and keep injecting.
+* ``FULL_NEIGHBORHOOD`` -- quarantine the whole suspect set.  Guaranteed
+  to contain a mole (Theorem 1), at the cost of also muting its innocent
+  neighbors until physical inspection clears them.
+
+The tradeoff is exactly the paper's traceback-precision discussion; the
+isolation example measures both policies' collateral damage.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isolation.revocation import RevocationList
+from repro.traceback.localize import SuspectNeighborhood
+
+__all__ = ["QuarantinePolicy", "QuarantineManager"]
+
+
+class QuarantinePolicy(enum.Enum):
+    """How much of a suspect neighborhood to isolate."""
+
+    CENTER_ONLY = "center-only"
+    FULL_NEIGHBORHOOD = "full-neighborhood"
+
+
+class QuarantineManager:
+    """Applies suspect neighborhoods to a revocation list.
+
+    Args:
+        policy: isolation aggressiveness.
+        revocations: the sink's revocation list (created if omitted).
+        protect: node IDs that must never be quarantined (the sink itself,
+            known-good gateway nodes).
+    """
+
+    def __init__(
+        self,
+        policy: QuarantinePolicy = QuarantinePolicy.FULL_NEIGHBORHOOD,
+        revocations: RevocationList | None = None,
+        protect: set[int] | None = None,
+    ):
+        self.policy = policy
+        self.revocations = revocations if revocations is not None else RevocationList()
+        self.protect = set(protect) if protect is not None else set()
+
+    def apply(
+        self,
+        suspect: SuspectNeighborhood,
+        at: float = 0.0,
+        evidence: str = "",
+    ) -> set[int]:
+        """Quarantine according to policy.
+
+        Returns:
+            The node IDs newly isolated by this call.
+        """
+        if self.policy is QuarantinePolicy.CENTER_ONLY:
+            targets = {suspect.center}
+        else:
+            targets = set(suspect.members)
+        targets -= self.protect
+        newly = {t for t in targets if not self.revocations.is_revoked(t)}
+        reason = evidence or (
+            f"suspect neighborhood centered on node {suspect.center}"
+            + (" (via loop analysis)" if suspect.via_loop else "")
+        )
+        for node_id in sorted(newly):
+            self.revocations.revoke(node_id, reason=reason, revoked_at=at)
+        return newly
+
+    def __repr__(self) -> str:
+        return (
+            f"QuarantineManager(policy={self.policy.value}, "
+            f"revoked={len(self.revocations)})"
+        )

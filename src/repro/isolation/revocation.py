@@ -1,0 +1,69 @@
+"""Revocation list: nodes the sink no longer trusts.
+
+Revocation is sink-side bookkeeping: a revoked node's key is dead (its
+MACs no longer verify anything useful) and its reports are ignored.  The
+list records *why* each node was revoked, because suspect neighborhoods
+contain innocent bystanders -- operators need the evidence trail when they
+physically inspect nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RevocationList", "RevocationRecord"]
+
+
+@dataclass(frozen=True)
+class RevocationRecord:
+    """Why and when a node was revoked.
+
+    Attributes:
+        node_id: the revoked node.
+        reason: free-form evidence summary (e.g. "center of suspect
+            neighborhood after 62-packet PNM trace").
+        revoked_at: simulation time or packet count at revocation.
+    """
+
+    node_id: int
+    reason: str
+    revoked_at: float
+
+
+class RevocationList:
+    """An append-only record of revoked nodes."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, RevocationRecord] = {}
+
+    def revoke(self, node_id: int, reason: str, revoked_at: float = 0.0) -> None:
+        """Add a node; re-revoking keeps the earliest record."""
+        if node_id not in self._records:
+            self._records[node_id] = RevocationRecord(
+                node_id=node_id, reason=reason, revoked_at=revoked_at
+            )
+
+    def is_revoked(self, node_id: int) -> bool:
+        """Whether the node has been revoked."""
+        return node_id in self._records
+
+    def record(self, node_id: int) -> RevocationRecord:
+        """The revocation evidence for a node.
+
+        Raises:
+            KeyError: if the node is not revoked.
+        """
+        return self._records[node_id]
+
+    @property
+    def revoked_ids(self) -> frozenset[int]:
+        return frozenset(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._records
+
+    def __repr__(self) -> str:
+        return f"RevocationList({sorted(self._records)})"

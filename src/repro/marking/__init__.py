@@ -1,0 +1,70 @@
+"""Marking schemes.
+
+Six schemes span the paper's design space, from the null baseline to full
+PNM:
+
+===================  =====  ==========  =============  ==============
+Scheme               Marks  ID on wire  MAC covers     Paper role
+===================  =====  ==========  =============  ==============
+``NoMarking``        never  --          --             null baseline
+``PPMMarking``       p      plain       nothing        Internet PPM baseline
+``ExtendedAMS``      p      plain       report + ID    Section 3 baseline
+``NestedMarking``    1.0    plain       whole prefix   Section 4.1
+``NaiveProb...``     p      plain       whole prefix   Section 4.2 strawman
+``PNMMarking``       p      anonymous   whole prefix   the paper's scheme
+===================  =====  ==========  =============  ==============
+"""
+
+from repro.marking.ams import ExtendedAMS
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.marking.nested import NaiveProbabilisticNested, NestedMarking
+from repro.marking.plain import NoMarking, PPMMarking
+from repro.marking.pnm import PNMMarking
+from repro.marking.weakened import PartiallyNestedMarking
+
+__all__ = [
+    "MarkingScheme",
+    "NodeContext",
+    "NoMarking",
+    "PPMMarking",
+    "ExtendedAMS",
+    "NestedMarking",
+    "NaiveProbabilisticNested",
+    "PNMMarking",
+    "PartiallyNestedMarking",
+    "scheme_by_name",
+    "SCHEME_CLASSES",
+]
+
+#: Registry of scheme classes keyed by their short names.
+SCHEME_CLASSES: dict[str, type[MarkingScheme]] = {
+    cls.name: cls
+    for cls in (
+        NoMarking,
+        PPMMarking,
+        ExtendedAMS,
+        NestedMarking,
+        NaiveProbabilisticNested,
+        PNMMarking,
+        PartiallyNestedMarking,
+    )
+}
+
+
+def scheme_by_name(name: str, **kwargs) -> MarkingScheme:
+    """Instantiate a scheme from its registry name.
+
+    Args:
+        name: one of ``none``, ``ppm``, ``ams``, ``nested``, ``naive-pnm``,
+            ``pnm``.
+        **kwargs: forwarded to the scheme constructor (e.g. ``mark_prob``).
+
+    Raises:
+        KeyError: for an unknown scheme name.
+    """
+    try:
+        cls = SCHEME_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEME_CLASSES))
+        raise KeyError(f"unknown scheme {name!r}; known schemes: {known}") from None
+    return cls(**kwargs)

@@ -1,0 +1,81 @@
+"""Extended Authenticated Marking Scheme (AMS) baseline.
+
+Song & Perrig's AMS (INFOCOM 2001) authenticates each router's mark with a
+keyed hash.  Section 3 of the paper extends it to the sensor setting: a
+packet carries multiple marks, one per marking node, each of the form
+``H_{k_i}(S | i)`` -- in our notation a MAC over the *original report* and
+the marker's ID.  (The destination field is dropped because the sink is
+well known.)
+
+Crucially, an AMS mark does **not** protect the marks left by previous
+nodes.  Each mark verifies or fails independently, so a forwarding mole can
+remove, re-order, or selectively preserve upstream marks without
+invalidating anything -- the attacks Section 3 uses to defeat it.  This
+scheme exists as the strongest Internet-style baseline for the security
+matrix experiment.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider, constant_time_equal
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+
+__all__ = ["ExtendedAMS"]
+
+
+class ExtendedAMS(MarkingScheme):
+    """Authenticated marks over the original report only (non-nested)."""
+
+    name = "ams"
+    verification_policy = "independent"
+
+    def __init__(
+        self, mark_prob: float = 1.0, id_len: int = 2, mac_len: int = 4
+    ):
+        super().__init__(MarkFormat(id_len=id_len, mac_len=mac_len), mark_prob)
+
+    def _mac_input(self, packet: MarkedPacket, id_field: bytes) -> bytes:
+        # H_{k_i}(S | i): only the original report and the marker's ID are
+        # covered -- previous marks are deliberately NOT included.
+        return packet.report_wire + id_field
+
+    def _build_mark(
+        self, ctx: NodeContext, packet: MarkedPacket, written_id: int
+    ) -> Mark:
+        id_field = self.fmt.encode_node_id(written_id)
+        mac = ctx.provider.mac(ctx.key, self._mac_input(packet, id_field))
+        return Mark(id_field=id_field, mac=mac)
+
+    def candidate_marker_ids(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        keystore: KeyStore,
+        provider: MacProvider,
+        search_ids: list[int] | None = None,
+        table: object | None = None,
+    ) -> list[int]:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return []
+        node_id = self.fmt.decode_node_id(mark.id_field)
+        return [node_id] if node_id in keystore else []
+
+    def verify_mark_as(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        node_id: int,
+        key: bytes,
+        provider: MacProvider,
+    ) -> bool:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return False
+        if mark.id_field != self.fmt.encode_node_id(node_id):
+            return False
+        expected = provider.mac(key, self._mac_input(packet, mark.id_field))
+        return constant_time_equal(expected, mark.mac)

@@ -1,0 +1,95 @@
+"""Nested marking (Section 4.1) and its naive probabilistic extension.
+
+In nested marking, forwarder ``V_i`` appends its ID and
+``MAC_i = H_{k_i}(M_{i-1} | i)`` where ``M_{i-1}`` is the **entire message
+received from the previous hop** -- report plus all earlier marks.  Every
+mark therefore protects all marks before it: tampering with any upstream
+ID, MAC, or their order invalidates every downstream legitimate MAC.  The
+paper proves this makes the scheme *consecutive traceable* and hence
+*one-hop precise* (Theorems 1-2), and that protecting any fewer fields
+breaks both properties (Theorem 3).
+
+:class:`NestedMarking` is the deterministic variant (every forwarder marks
+every packet; single-packet traceback, but ``n`` marks of overhead).
+
+:class:`NaiveProbabilisticNested` is Section 4.2's "incorrect extension":
+the same nested marks left only with probability ``p`` and with **plain
+text IDs**.  Because a colluding mole can read which upstream nodes marked
+each packet, it can selectively drop exactly the packets whose marks would
+implicate it -- leading the sink to an innocent node.  It is implemented
+to reproduce that attack in the security-matrix experiment.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider, constant_time_equal
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+
+__all__ = ["NestedMarking", "NaiveProbabilisticNested"]
+
+
+class NestedMarking(MarkingScheme):
+    """Basic nested marking: deterministic, plain IDs, nested MACs."""
+
+    name = "nested"
+
+    def __init__(self, id_len: int = 2, mac_len: int = 4):
+        super().__init__(MarkFormat(id_len=id_len, mac_len=mac_len), mark_prob=1.0)
+
+    def _build_mark(
+        self, ctx: NodeContext, packet: MarkedPacket, written_id: int
+    ) -> Mark:
+        id_field = self.fmt.encode_node_id(written_id)
+        # H_{k_i}(M_{i-1} | i): the MAC covers the packet exactly as
+        # received -- report plus every existing mark -- plus the new ID.
+        mac = ctx.provider.mac(ctx.key, packet.wire() + id_field)
+        return Mark(id_field=id_field, mac=mac)
+
+    def candidate_marker_ids(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        keystore: KeyStore,
+        provider: MacProvider,
+        search_ids: list[int] | None = None,
+        table: object | None = None,
+    ) -> list[int]:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return []
+        node_id = self.fmt.decode_node_id(mark.id_field)
+        return [node_id] if node_id in keystore else []
+
+    def verify_mark_as(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        node_id: int,
+        key: bytes,
+        provider: MacProvider,
+    ) -> bool:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return False
+        if mark.id_field != self.fmt.encode_node_id(node_id):
+            return False
+        # Recompute over the received prefix: everything before this mark.
+        prefix = packet.prefix_wire(mark_index)
+        expected = provider.mac(key, prefix + mark.id_field)
+        return constant_time_equal(expected, mark.mac)
+
+
+class NaiveProbabilisticNested(NestedMarking):
+    """Section 4.2's incorrect extension: probabilistic nested marks with
+    plain-text IDs (vulnerable to selective dropping)."""
+
+    name = "naive-pnm"
+
+    def __init__(self, mark_prob: float, id_len: int = 2, mac_len: int = 4):
+        super().__init__(id_len=id_len, mac_len=mac_len)
+        if not 0.0 <= mark_prob <= 1.0:
+            raise ValueError(f"mark_prob must be in [0, 1], got {mark_prob}")
+        self.mark_prob = mark_prob

@@ -1,0 +1,78 @@
+"""Unauthenticated baselines: no marking, and Savage-style plain marking.
+
+:class:`PPMMarking` models the probabilistic packet marking of Savage et
+al. (SIGCOMM 2000) transplanted to the sensor setting: each forwarder
+appends its plain-text ID with probability ``p`` and there is no
+cryptographic protection whatsoever.  (We use the append-multiple-marks
+variant, like the paper's extended AMS, rather than the single-slot
+overwrite of the IP header version -- strictly more information for the
+sink, and still trivially defeated by a forwarding mole.)
+
+:class:`NoMarking` is the null scheme: packets carry no provenance at all,
+so the sink only ever knows its own delivering neighbor.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+
+__all__ = ["PPMMarking", "NoMarking"]
+
+
+class PPMMarking(MarkingScheme):
+    """Plain-text probabilistic marking with no authentication."""
+
+    name = "ppm"
+    verification_policy = "independent"
+
+    def __init__(self, mark_prob: float = 1.0, id_len: int = 2):
+        super().__init__(MarkFormat(id_len=id_len, mac_len=0), mark_prob)
+
+    def _build_mark(
+        self, ctx: NodeContext, packet: MarkedPacket, written_id: int
+    ) -> Mark:
+        return Mark(id_field=self.fmt.encode_node_id(written_id), mac=b"")
+
+    def candidate_marker_ids(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        keystore: KeyStore,
+        provider: MacProvider,
+        search_ids: list[int] | None = None,
+        table: object | None = None,
+    ) -> list[int]:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return []
+        node_id = self.fmt.decode_node_id(mark.id_field)
+        return [node_id] if node_id in keystore else []
+
+    def verify_mark_as(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        node_id: int,
+        key: bytes,
+        provider: MacProvider,
+    ) -> bool:
+        # Nothing to verify: any well-formed mark naming a known node is
+        # accepted.  This is precisely the weakness of plain marking.
+        mark = packet.marks[mark_index]
+        return (
+            mark.matches_format(self.fmt)
+            and mark.id_field == self.fmt.encode_node_id(node_id)
+        )
+
+
+class NoMarking(PPMMarking):
+    """The null scheme: honest nodes never mark."""
+
+    name = "none"
+
+    def __init__(self, id_len: int = 2):
+        super().__init__(mark_prob=0.0, id_len=id_len)

@@ -1,0 +1,139 @@
+"""Probabilistic Nested Marking (PNM) -- the paper's full scheme.
+
+Each forwarder marks with probability ``p``; its mark is::
+
+    M_i = M_{i-1} | i' | H_{k_i}(M_{i-1} | i')      where  i' = H'_{k_i}(M | i)
+
+``i'`` is a per-message *anonymous ID*: it depends on the node's secret key
+and the original report ``M``, so a colluding mole -- which lacks the keys
+of uncompromised nodes -- cannot tell which nodes have marked a packet and
+therefore cannot selectively drop the packets that would implicate it
+(defeating attack 6 of the taxonomy).  Because ``i'`` is bound to ``M``,
+the mapping changes with every distinct report and cannot be accumulated
+over time by the adversary.
+
+The sink, which knows every node's key, resolves anonymous IDs by building
+the ``i -> i'`` table for the report (Section 4.2's exhaustive search) or,
+when it knows the topology, by searching only the one-hop neighbors of the
+previously verified node (the ``O(d)`` optimization of Section 7).
+Resolution is confirmed by verifying the nested MAC, so anonymous-ID
+collisions from truncation cannot cause misattribution.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider, constant_time_equal
+from repro.marking.base import MarkingScheme, NodeContext
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+
+__all__ = ["PNMMarking"]
+
+# Real node IDs are fed to H' with a fixed-width encoding, independent of
+# the on-wire id_len, so anonymity does not depend on wire-format choices.
+_ANON_INPUT_ID_LEN = 8
+
+
+def _anon_input(report_wire: bytes, node_id: int) -> bytes:
+    """The ``M | i`` input to the anonymous-ID function ``H'``."""
+    return report_wire + node_id.to_bytes(_ANON_INPUT_ID_LEN, "big")
+
+
+class PNMMarking(MarkingScheme):
+    """Probabilistic nested marking with anonymous IDs."""
+
+    name = "pnm"
+
+    def __init__(self, mark_prob: float, anon_id_len: int = 4, mac_len: int = 4):
+        super().__init__(
+            MarkFormat(id_len=anon_id_len, mac_len=mac_len, anonymous=True),
+            mark_prob,
+        )
+
+    def anonymous_id(
+        self, provider: MacProvider, key: bytes, report_wire: bytes, node_id: int
+    ) -> bytes:
+        """Compute ``i' = H'_{k_i}(M | i)`` for this scheme's wire format."""
+        anon = provider.anon_id(key, _anon_input(report_wire, node_id))
+        if len(anon) != self.fmt.id_len:
+            raise ValueError(
+                f"provider anon_id length {len(anon)} does not match "
+                f"wire format id_len {self.fmt.id_len}"
+            )
+        return anon
+
+    def _build_mark(
+        self, ctx: NodeContext, packet: MarkedPacket, written_id: int
+    ) -> Mark:
+        anon = self.anonymous_id(
+            ctx.provider, ctx.key, packet.report_wire, written_id
+        )
+        # H_{k_i}(M_{i-1} | i'): nested MAC over the packet as received
+        # plus the anonymous ID being appended.
+        mac = ctx.provider.mac(ctx.key, packet.wire() + anon)
+        return Mark(id_field=anon, mac=mac)
+
+    def build_resolution_table(
+        self,
+        packet: MarkedPacket,
+        keystore: KeyStore,
+        provider: MacProvider,
+        search_ids: list[int] | None = None,
+    ) -> dict[bytes, list[int]]:
+        """The sink's per-message ``anonymous ID -> real IDs`` table.
+
+        Truncated anonymous IDs can collide, so a table entry may hold
+        several candidate real IDs; MAC verification disambiguates.
+        """
+        ids = keystore.node_ids() if search_ids is None else search_ids
+        report_wire = packet.report_wire
+        table: dict[bytes, list[int]] = {}
+        for node_id in ids:
+            key = keystore.get(node_id)
+            if key is None:
+                # The search space may include keyless nodes (e.g. the sink
+                # when a topology-bounded ball touches it); skip them.
+                continue
+            anon = provider.anon_id(key, _anon_input(report_wire, node_id))
+            table.setdefault(anon, []).append(node_id)
+        return table
+
+    def candidate_marker_ids(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        keystore: KeyStore,
+        provider: MacProvider,
+        search_ids: list[int] | None = None,
+        table: object | None = None,
+    ) -> list[int]:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return []
+        if table is None:
+            table = self.build_resolution_table(
+                packet, keystore, provider, search_ids
+            )
+        assert isinstance(table, dict)
+        return list(table.get(mark.id_field, ()))
+
+    def verify_mark_as(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        node_id: int,
+        key: bytes,
+        provider: MacProvider,
+    ) -> bool:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return False
+        expected_anon = provider.anon_id(
+            key, _anon_input(packet.report_wire, node_id)
+        )
+        if mark.id_field != expected_anon:
+            return False
+        prefix = packet.prefix_wire(mark_index)
+        expected_mac = provider.mac(key, prefix + mark.id_field)
+        return constant_time_equal(expected_mac, mark.mac)

@@ -1,0 +1,68 @@
+"""A deliberately under-protective scheme for Theorem 3's necessity proof.
+
+Theorem 3: *any* marking scheme whose MACs protect fewer fields than
+nested marking is not consecutive traceable.  :class:`PartiallyNestedMarking`
+is the canonical counterexample used in the ablation benches: it looks
+almost nested -- each MAC covers the original report, **the ID fields of
+every previous mark**, and the marker's own ID -- but omits the previous
+marks' MAC bytes.
+
+A mole can therefore corrupt an upstream mark's MAC bytes
+(:class:`~repro.adversary.attacks.UnprotectedBitAlteringAttack`): every
+downstream MAC still verifies (it never covered those bytes), while the
+victim's own mark fails, so the backward trace stops at an innocent node
+and cannot proceed -- exactly the failure Figure 3 illustrates.
+
+Do not deploy this scheme; it exists to make the necessity argument
+empirical.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import constant_time_equal
+from repro.marking.base import NodeContext
+from repro.marking.nested import NestedMarking
+from repro.packets.marks import Mark
+from repro.packets.packet import MarkedPacket
+
+__all__ = ["PartiallyNestedMarking"]
+
+
+class PartiallyNestedMarking(NestedMarking):
+    """Nested marking minus protection of previous MAC bytes."""
+
+    name = "partial-nested"
+
+    def _mac_input(self, packet: MarkedPacket, upto: int, id_field: bytes) -> bytes:
+        """Report, previous ID fields only, and the new ID."""
+        parts = [packet.report_wire]
+        parts.extend(mark.id_field for mark in packet.marks[:upto])
+        parts.append(id_field)
+        return b"".join(parts)
+
+    def _build_mark(
+        self, ctx: NodeContext, packet: MarkedPacket, written_id: int
+    ) -> Mark:
+        id_field = self.fmt.encode_node_id(written_id)
+        mac = ctx.provider.mac(
+            ctx.key, self._mac_input(packet, len(packet.marks), id_field)
+        )
+        return Mark(id_field=id_field, mac=mac)
+
+    def verify_mark_as(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        node_id: int,
+        key: bytes,
+        provider,
+    ) -> bool:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return False
+        if mark.id_field != self.fmt.encode_node_id(node_id):
+            return False
+        expected = provider.mac(
+            key, self._mac_input(packet, mark_index, mark.id_field)
+        )
+        return constant_time_equal(expected, mark.mac)

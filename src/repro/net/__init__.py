@@ -1,0 +1,27 @@
+"""Network substrate: nodes, topologies and radio links.
+
+The paper assumes a static sensor network (nodes do not move once deployed)
+whose reports travel over multi-hop wireless channels to a single sink
+(Section 2.1).  This package provides deployment generators (linear chains
+as used in the paper's evaluation, grids, and uniform-random fields), a
+unit-disk connectivity model, and a simple lossy/delayed link model for the
+discrete-event simulator.
+"""
+
+from repro.net.links import LinkModel
+from repro.net.topology import (
+    Topology,
+    grid_topology,
+    linear_path_topology,
+    poisson_disk_topology,
+    random_topology,
+)
+
+__all__ = [
+    "Topology",
+    "linear_path_topology",
+    "grid_topology",
+    "random_topology",
+    "poisson_disk_topology",
+    "LinkModel",
+]

@@ -1,0 +1,60 @@
+"""Radio link model for the discrete-event simulator.
+
+Sensor radios are slow (the paper cites 19.2 kbps Mica2 motes, roughly 50
+packets per second), so per-hop delay is dominated by serialization.  The
+model here is intentionally simple: a fixed per-hop latency plus a
+size-proportional serialization term, and an independent per-hop loss
+probability.  This is enough to exercise timing- and loss-sensitive code
+paths (probabilistic mark collection, duplicate suppression) without
+modelling MAC-layer contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["LinkModel"]
+
+#: Paper-cited Mica2 radio rate in bits per second (Section 4.2).
+MICA2_BITRATE_BPS = 19_200
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-hop transmission behavior.
+
+    Attributes:
+        base_delay: fixed per-hop latency in seconds (processing + MAC
+            access), independent of packet size.
+        bitrate_bps: radio serialization rate; ``0`` disables the
+            size-proportional term.
+        loss_prob: independent probability that a transmission is lost.
+    """
+
+    base_delay: float = 0.005
+    bitrate_bps: float = MICA2_BITRATE_BPS
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.bitrate_bps < 0:
+            raise ValueError(f"bitrate_bps must be >= 0, got {self.bitrate_bps}")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1), got {self.loss_prob}")
+
+    def transmission_delay(self, packet_len: int) -> float:
+        """Time in seconds to push ``packet_len`` bytes over one hop."""
+        if packet_len < 0:
+            raise ValueError(f"packet_len must be >= 0, got {packet_len}")
+        serialization = (
+            (8 * packet_len) / self.bitrate_bps if self.bitrate_bps else 0.0
+        )
+        return self.base_delay + serialization
+
+    def is_delivered(self, rng: random.Random) -> bool:
+        """Draw whether a single transmission survives the link."""
+        if self.loss_prob == 0.0:
+            return True
+        return rng.random() >= self.loss_prob

@@ -1,0 +1,408 @@
+"""Static sensor-network topologies.
+
+A :class:`Topology` is an undirected connectivity graph over positioned
+nodes, with one distinguished sink.  Connectivity follows the unit-disk
+model: two nodes are neighbors iff their distance is at most the radio
+range.  Deployments are static (Section 2.1), so the topology is immutable
+after construction; routing layers build forwarding state on top of it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "Topology",
+    "linear_path_topology",
+    "grid_topology",
+    "random_topology",
+    "poisson_disk_topology",
+    "DisconnectedTopologyError",
+]
+
+#: Conventional node ID of the sink in generated topologies.
+SINK_ID = 0
+
+
+class DisconnectedTopologyError(ValueError):
+    """Raised when a generated deployment cannot reach the sink."""
+
+
+class Topology:
+    """An immutable positioned connectivity graph with a sink.
+
+    Args:
+        positions: mapping of node ID to ``(x, y)`` position.  Must include
+            the sink.
+        edges: undirected neighbor pairs.  Self-loops are rejected.
+        sink: the sink's node ID.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[int, tuple[float, float]],
+        edges: Iterable[tuple[int, int]],
+        sink: int = SINK_ID,
+    ):
+        if sink not in positions:
+            raise ValueError(f"sink {sink} has no position")
+        self._positions: dict[int, tuple[float, float]] = {
+            nid: (float(x), float(y)) for nid, (x, y) in positions.items()
+        }
+        self._adj: dict[int, set[int]] = {nid: set() for nid in self._positions}
+        self.sink = sink
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop on node {u}")
+            if u not in self._positions or v not in self._positions:
+                raise ValueError(f"edge ({u}, {v}) references unknown node")
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+
+    # Introspection ---------------------------------------------------------
+
+    def nodes(self) -> list[int]:
+        """All node IDs (including the sink), sorted ascending."""
+        return sorted(self._positions)
+
+    def sensor_nodes(self) -> list[int]:
+        """All node IDs except the sink, sorted ascending."""
+        return [nid for nid in self.nodes() if nid != self.sink]
+
+    def position(self, node_id: int) -> tuple[float, float]:
+        """The node's deployed ``(x, y)`` position."""
+        return self._positions[node_id]
+
+    def neighbors(self, node_id: int) -> set[int]:
+        """One-hop radio neighbors of ``node_id``."""
+        return set(self._adj[node_id])
+
+    def closed_neighborhood(self, node_id: int) -> set[int]:
+        """The node itself plus its one-hop neighbors.
+
+        This is the paper's traceback precision unit: PNM localizes a mole
+        to "one node and its one-hop neighbors" (Section 4).
+        """
+        return self._adj[node_id] | {node_id}
+
+    def degree(self, node_id: int) -> int:
+        """Number of one-hop radio neighbors."""
+        return len(self._adj[node_id])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are radio neighbors."""
+        return v in self._adj.get(u, ())
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All undirected edges, each reported once as ``(min, max)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                seen.add((min(u, v), max(u, v)))
+        return sorted(seen)
+
+    def num_nodes(self) -> int:
+        """Total node count, sink included."""
+        return len(self._positions)
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between two nodes."""
+        (x1, y1), (x2, y2) = self._positions[u], self._positions[v]
+        return math.hypot(x1 - x2, y1 - y2)
+
+    def is_connected(self) -> bool:
+        """Whether every node can reach the sink."""
+        return len(self._reachable_from_sink()) == len(self._positions)
+
+    def _reachable_from_sink(self) -> set[int]:
+        seen = {self.sink}
+        frontier = [self.sink]
+        while frontier:
+            node = frontier.pop()
+            for nbr in self._adj[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return seen
+
+    def hop_distances(self) -> dict[int, int]:
+        """BFS hop count from every reachable node to the sink."""
+        dist = {self.sink: 0}
+        frontier = [self.sink]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for nbr in self._adj[node]:
+                    if nbr not in dist:
+                        dist[nbr] = dist[node] + 1
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        return dist
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.num_nodes()} nodes, {len(self.edges())} edges, "
+            f"sink={self.sink})"
+        )
+
+
+def linear_path_topology(n_forwarders: int) -> tuple[Topology, int]:
+    """The paper's evaluation deployment: a chain ``S - V1 - ... - Vn - sink``.
+
+    Node IDs: sink is 0 at ``x = 0``; forwarder ``V_i`` (i-th hop after the
+    source) has ID ``i`` at ``x = n_forwarders + 1 - i``; the source sits at
+    the far end with ID ``n_forwarders + 1``.
+
+    Args:
+        n_forwarders: number of intermediate forwarding nodes ``n``.
+
+    Returns:
+        ``(topology, source_id)``.
+    """
+    if n_forwarders < 1:
+        raise ValueError(f"need at least one forwarder, got {n_forwarders}")
+    source_id = n_forwarders + 1
+    total_span = n_forwarders + 1
+    positions: dict[int, tuple[float, float]] = {SINK_ID: (0.0, 0.0)}
+    for i in range(1, n_forwarders + 1):
+        positions[i] = (float(total_span - i), 0.0)
+    positions[source_id] = (float(total_span), 0.0)
+    # Chain order by x-coordinate: sink(0) - Vn(n) - ... - V1(1) - S.
+    chain = [SINK_ID] + list(range(n_forwarders, 0, -1)) + [source_id]
+    edges = list(zip(chain, chain[1:]))
+    return Topology(positions, edges, sink=SINK_ID), source_id
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    spacing: float = 1.0,
+    radio_range: float | None = None,
+    sink_at: str = "corner",
+) -> Topology:
+    """A regular grid deployment.
+
+    Args:
+        rows: grid rows.
+        cols: grid columns.
+        spacing: distance between adjacent grid points.
+        radio_range: unit-disk radius; defaults to ``1.5 * spacing`` which
+            connects the 8-neighborhood.
+        sink_at: ``"corner"`` (node at (0, 0)) or ``"center"``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if radio_range is None:
+        radio_range = 1.5 * spacing
+    positions = {
+        r * cols + c: (c * spacing, r * spacing)
+        for r in range(rows)
+        for c in range(cols)
+    }
+    if sink_at == "corner":
+        sink = 0
+    elif sink_at == "center":
+        sink = (rows // 2) * cols + (cols // 2)
+    else:
+        raise ValueError(f"sink_at must be 'corner' or 'center', got {sink_at!r}")
+    edges = _unit_disk_edges(positions, radio_range)
+    return Topology(positions, edges, sink=sink)
+
+
+def random_topology(
+    num_nodes: int,
+    width: float,
+    height: float,
+    radio_range: float,
+    seed: int = 0,
+    sink_at: str = "corner",
+    max_attempts: int = 50,
+) -> Topology:
+    """A uniform-random deployment, retried until connected.
+
+    Args:
+        num_nodes: number of sensor nodes (the sink is placed additionally).
+        width: field width.
+        height: field height.
+        radio_range: unit-disk radius.
+        seed: base RNG seed; each retry perturbs it deterministically.
+        sink_at: ``"corner"`` or ``"center"`` placement of the sink.
+        max_attempts: how many deployments to try before giving up.
+
+    Raises:
+        DisconnectedTopologyError: if no connected deployment is found.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"need at least one sensor node, got {num_nodes}")
+    if sink_at == "corner":
+        sink_pos = (0.0, 0.0)
+    elif sink_at == "center":
+        sink_pos = (width / 2, height / 2)
+    else:
+        raise ValueError(f"sink_at must be 'corner' or 'center', got {sink_at!r}")
+
+    for attempt in range(max_attempts):
+        rng = random.Random(f"{seed}:attempt:{attempt}")
+        positions = {SINK_ID: sink_pos}
+        for nid in range(1, num_nodes + 1):
+            positions[nid] = (rng.uniform(0, width), rng.uniform(0, height))
+        topo = Topology(positions, _unit_disk_edges(positions, radio_range))
+        if topo.is_connected():
+            return topo
+    raise DisconnectedTopologyError(
+        f"no connected deployment of {num_nodes} nodes in {width}x{height} "
+        f"with range {radio_range} after {max_attempts} attempts; "
+        f"increase density or radio range"
+    )
+
+
+def poisson_disk_topology(
+    width: float,
+    height: float,
+    min_spacing: float,
+    radio_range: float,
+    seed: int = 0,
+    sink_at: str = "corner",
+    max_attempts: int = 50,
+) -> Topology:
+    """A blue-noise deployment via Bridson's Poisson-disk sampling.
+
+    Real deployments avoid piling sensors on top of each other; Poisson
+    disk sampling gives uniform coverage with a guaranteed minimum
+    pairwise spacing -- denser-looking and better connected than uniform
+    random at the same node count.
+
+    Args:
+        width: field width.
+        height: field height.
+        min_spacing: minimum distance between any two sensors.
+        radio_range: unit-disk radius; must exceed ``min_spacing`` or the
+            deployment cannot be connected.
+        seed: base RNG seed; retries perturb it deterministically.
+        sink_at: ``"corner"`` or ``"center"``.
+        max_attempts: deployments to try before giving up on connectivity.
+
+    Raises:
+        DisconnectedTopologyError: if no connected deployment emerges.
+    """
+    if min_spacing <= 0:
+        raise ValueError(f"min_spacing must be positive, got {min_spacing}")
+    if radio_range <= min_spacing:
+        raise ValueError(
+            f"radio_range {radio_range} must exceed min_spacing "
+            f"{min_spacing} for connectivity"
+        )
+    if sink_at == "corner":
+        sink_pos = (0.0, 0.0)
+    elif sink_at == "center":
+        sink_pos = (width / 2, height / 2)
+    else:
+        raise ValueError(f"sink_at must be 'corner' or 'center', got {sink_at!r}")
+
+    for attempt in range(max_attempts):
+        rng = random.Random(f"poisson:{seed}:{attempt}")
+        points = _bridson_sample(width, height, min_spacing, rng, start=sink_pos)
+        positions = {SINK_ID: sink_pos}
+        for idx, pos in enumerate(points[1:], start=1):
+            positions[idx] = pos
+        topo = Topology(positions, _unit_disk_edges(positions, radio_range))
+        if topo.num_nodes() > 1 and topo.is_connected():
+            return topo
+    raise DisconnectedTopologyError(
+        f"no connected Poisson-disk deployment in {width}x{height} with "
+        f"spacing {min_spacing} / range {radio_range} after "
+        f"{max_attempts} attempts"
+    )
+
+
+def _bridson_sample(
+    width: float,
+    height: float,
+    r: float,
+    rng: random.Random,
+    start: tuple[float, float],
+    candidates_per_point: int = 30,
+) -> list[tuple[float, float]]:
+    """Bridson (2007) fast Poisson-disk sampling on a grid."""
+    cell = r / math.sqrt(2)
+    cols = max(1, int(width / cell) + 1)
+    rows = max(1, int(height / cell) + 1)
+    grid: list[int | None] = [None] * (cols * rows)
+
+    def cell_index(p: tuple[float, float]) -> int:
+        cx = min(cols - 1, int(p[0] / cell))
+        cy = min(rows - 1, int(p[1] / cell))
+        return cy * cols + cx
+
+    def fits(p: tuple[float, float]) -> bool:
+        cx = min(cols - 1, int(p[0] / cell))
+        cy = min(rows - 1, int(p[1] / cell))
+        for dy in range(-2, 3):
+            for dx in range(-2, 3):
+                nx, ny = cx + dx, cy + dy
+                if not (0 <= nx < cols and 0 <= ny < rows):
+                    continue
+                occupant = grid[ny * cols + nx]
+                if occupant is not None:
+                    q = points[occupant]
+                    if math.hypot(p[0] - q[0], p[1] - q[1]) < r:
+                        return False
+        return True
+
+    points = [start]
+    grid[cell_index(start)] = 0
+    active = [0]
+    while active:
+        pick = rng.randrange(len(active))
+        origin = points[active[pick]]
+        for _ in range(candidates_per_point):
+            angle = rng.uniform(0, 2 * math.pi)
+            radius = rng.uniform(r, 2 * r)
+            candidate = (
+                origin[0] + radius * math.cos(angle),
+                origin[1] + radius * math.sin(angle),
+            )
+            if not (0 <= candidate[0] <= width and 0 <= candidate[1] <= height):
+                continue
+            if fits(candidate):
+                points.append(candidate)
+                grid[cell_index(candidate)] = len(points) - 1
+                active.append(len(points) - 1)
+                break
+        else:
+            active.pop(pick)
+    return points
+
+
+def _unit_disk_edges(
+    positions: Mapping[int, tuple[float, float]], radio_range: float
+) -> list[tuple[int, int]]:
+    """All node pairs within ``radio_range`` of each other.
+
+    Uses a coarse spatial hash so dense deployments stay near-linear instead
+    of quadratic in the node count.
+    """
+    if radio_range <= 0:
+        raise ValueError(f"radio_range must be positive, got {radio_range}")
+    cell = radio_range
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for nid, (x, y) in positions.items():
+        buckets.setdefault((int(x // cell), int(y // cell)), []).append(nid)
+
+    edges = []
+    for (bx, by), members in buckets.items():
+        candidates = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                candidates.extend(buckets.get((bx + dx, by + dy), ()))
+        for u in members:
+            ux, uy = positions[u]
+            for v in candidates:
+                if v <= u:
+                    continue
+                vx, vy = positions[v]
+                if math.hypot(ux - vx, uy - vy) <= radio_range:
+                    edges.append((u, v))
+    return edges

@@ -1,0 +1,14 @@
+"""Packet model and byte-level wire formats.
+
+Every sensing report is ``M = E | L | T`` (event, location, timestamp,
+Section 2.3).  Forwarding nodes append *marks*; a mark is an ID field (a real
+node ID or an anonymous ID) followed by a MAC.  All MACs in the marking
+schemes are computed over exact wire bytes, so this package defines the
+canonical encodings and provides overhead accounting in real bytes.
+"""
+
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+
+__all__ = ["Report", "Mark", "MarkFormat", "MarkedPacket"]

@@ -1,0 +1,103 @@
+"""Marks: the per-hop records appended by marking schemes.
+
+A mark on the wire is ``[id_field][mac]``.  The ID field holds either a
+plain-text node ID (basic nested marking, the AMS/PPM baselines) or an
+anonymous ID (full PNM).  The MAC field may be empty for unauthenticated
+baselines (Savage-style probabilistic packet marking).
+
+Field lengths are fixed per deployment by a :class:`MarkFormat`, so any node
+(including a mole) can parse the mark list of a packet it forwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MarkFormat", "Mark"]
+
+DEFAULT_ID_LEN = 2
+
+
+@dataclass(frozen=True)
+class MarkFormat:
+    """Wire layout of a single mark.
+
+    Attributes:
+        id_len: bytes in the ID field.  2 bytes suffice for 65k nodes with
+            plain IDs; anonymous IDs typically use 4.
+        mac_len: bytes in the MAC field (0 for unauthenticated marking).
+        anonymous: whether the ID field carries an anonymous ID that the
+            sink must resolve, rather than a plain node ID.
+    """
+
+    id_len: int = DEFAULT_ID_LEN
+    mac_len: int = 4
+    anonymous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.id_len < 1:
+            raise ValueError(f"id_len must be >= 1, got {self.id_len}")
+        if self.mac_len < 0:
+            raise ValueError(f"mac_len must be >= 0, got {self.mac_len}")
+
+    @property
+    def mark_len(self) -> int:
+        """Total encoded length of one mark."""
+        return self.id_len + self.mac_len
+
+    def encode_node_id(self, node_id: int) -> bytes:
+        """Encode a plain node ID into an ID field."""
+        if node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {node_id}")
+        if node_id >= 1 << (8 * self.id_len):
+            raise ValueError(
+                f"node_id {node_id} does not fit in {self.id_len} byte(s)"
+            )
+        return node_id.to_bytes(self.id_len, "big")
+
+    def decode_node_id(self, id_field: bytes) -> int:
+        """Decode a plain node ID from an ID field."""
+        if len(id_field) != self.id_len:
+            raise ValueError(
+                f"id field has {len(id_field)} bytes, format expects {self.id_len}"
+            )
+        return int.from_bytes(id_field, "big")
+
+
+@dataclass(frozen=True)
+class Mark:
+    """One mark as it appears on the wire.
+
+    The ``id_field`` is raw bytes: a big-endian node ID for plain-ID schemes
+    or an anonymous ID for PNM.  Interpretation belongs to the scheme and the
+    sink, not to the mark itself -- a forwarding mole sees exactly these
+    bytes and nothing more.
+    """
+
+    id_field: bytes
+    mac: bytes
+
+    def encode(self) -> bytes:
+        """Concatenate the two fields in wire order."""
+        return self.id_field + self.mac
+
+    @property
+    def wire_len(self) -> int:
+        return len(self.id_field) + len(self.mac)
+
+    @classmethod
+    def decode(cls, data: bytes, fmt: MarkFormat) -> "Mark":
+        """Parse one mark laid out per ``fmt``.
+
+        Raises:
+            ValueError: if ``data`` is not exactly one mark long.
+        """
+        if len(data) != fmt.mark_len:
+            raise ValueError(
+                f"mark buffer has {len(data)} bytes, format expects {fmt.mark_len}"
+            )
+        return cls(id_field=bytes(data[: fmt.id_len]), mac=bytes(data[fmt.id_len :]))
+
+    def matches_format(self, fmt: MarkFormat) -> bool:
+        """Whether this mark's field sizes agree with ``fmt``."""
+        return len(self.id_field) == fmt.id_len and len(self.mac) == fmt.mac_len

@@ -1,0 +1,104 @@
+"""Marked packets: a report plus the marks accumulated along the path.
+
+The nested-marking MAC of hop ``i`` is computed over the *entire message
+received from the previous hop*, ``M_{i-1}`` -- i.e. over the exact wire
+bytes of the report and all earlier marks.  :meth:`MarkedPacket.prefix_wire`
+exposes those byte prefixes so marking schemes and the sink compute MACs over
+identical data.
+
+Packets are treated as immutable values; forwarding (and mark manipulation by
+moles) produces new packets via :meth:`with_mark` / :meth:`with_marks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.report import Report
+
+__all__ = ["MarkedPacket"]
+
+
+@dataclass(frozen=True)
+class MarkedPacket:
+    """A sensing report plus an ordered list of marks.
+
+    Attributes:
+        report: the original report ``M``.
+        marks: marks in the order they were appended (upstream first).
+        origin: *simulation metadata*, not on the wire: the true injecting
+            node, used only for scoring experiment outcomes.
+    """
+
+    report: Report
+    marks: tuple[Mark, ...] = ()
+    origin: int | None = field(default=None, compare=False)
+
+    @property
+    def report_wire(self) -> bytes:
+        """Wire bytes of the bare report ``M``."""
+        return self.report.encode()
+
+    def prefix_wire(self, num_marks: int) -> bytes:
+        """Wire bytes of the report plus the first ``num_marks`` marks.
+
+        ``prefix_wire(i)`` is exactly ``M_i`` in the paper's notation when
+        every node so far has marked, and more generally the message as it
+        stood before mark ``num_marks`` was appended.
+
+        Raises:
+            ValueError: if ``num_marks`` exceeds the number of marks present.
+        """
+        if not 0 <= num_marks <= len(self.marks):
+            raise ValueError(
+                f"num_marks={num_marks} out of range 0..{len(self.marks)}"
+            )
+        parts = [self.report_wire]
+        parts.extend(mark.encode() for mark in self.marks[:num_marks])
+        return b"".join(parts)
+
+    def wire(self) -> bytes:
+        """Full wire bytes of the packet as currently marked."""
+        return self.prefix_wire(len(self.marks))
+
+    @property
+    def wire_len(self) -> int:
+        """Total transmitted size in bytes (report + all marks)."""
+        return self.report.wire_len + sum(m.wire_len for m in self.marks)
+
+    @property
+    def num_marks(self) -> int:
+        return len(self.marks)
+
+    def with_mark(self, mark: Mark) -> "MarkedPacket":
+        """Return a copy with ``mark`` appended (what a marking node sends)."""
+        return replace(self, marks=self.marks + (mark,))
+
+    def with_marks(self, marks: tuple[Mark, ...]) -> "MarkedPacket":
+        """Return a copy with the mark list replaced (what a mole may send)."""
+        return replace(self, marks=tuple(marks))
+
+    @classmethod
+    def decode(cls, data: bytes, fmt: MarkFormat) -> "MarkedPacket":
+        """Parse a packet whose marks are laid out per ``fmt``.
+
+        Raises:
+            ValueError: if the trailing bytes are not a whole number of marks.
+        """
+        report, consumed = Report.decode_prefix(data)
+        remainder = data[consumed:]
+        if fmt.mark_len == 0:
+            if remainder:
+                raise ValueError("marks present but format has zero-length marks")
+            return cls(report=report)
+        if len(remainder) % fmt.mark_len != 0:
+            raise ValueError(
+                f"{len(remainder)} trailing bytes is not a multiple of "
+                f"mark length {fmt.mark_len}"
+            )
+        marks = tuple(
+            Mark.decode(remainder[i : i + fmt.mark_len], fmt)
+            for i in range(0, len(remainder), fmt.mark_len)
+        )
+        return cls(report=report, marks=marks)

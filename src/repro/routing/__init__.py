@@ -1,0 +1,27 @@
+"""Routing substrate.
+
+The paper assumes stable routing where each node has exactly one next-hop
+neighbor toward the sink, "consistent with tree-based routing protocols
+(TinyDB) or geographical forwarding (GPSR)" (Section 2.1).  Both styles are
+implemented here over the static :class:`~repro.net.topology.Topology`:
+
+* :mod:`repro.routing.tree` -- shortest-path trees built by BFS from the
+  sink, with deterministic or randomized parent tie-breaking.
+* :mod:`repro.routing.geographic` -- greedy geographic forwarding: each node
+  forwards to its neighbor closest to the sink.
+* :mod:`repro.routing.dynamics` -- controlled route churn for the Section 7
+  "Impact of Routing Dynamics" ablation.
+"""
+
+from repro.routing.base import RoutingError, RoutingTable
+from repro.routing.dynamics import RouteDynamics
+from repro.routing.geographic import build_greedy_geographic_table
+from repro.routing.tree import build_routing_tree
+
+__all__ = [
+    "RoutingTable",
+    "RoutingError",
+    "build_routing_tree",
+    "build_greedy_geographic_table",
+    "RouteDynamics",
+]

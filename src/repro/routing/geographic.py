@@ -1,0 +1,66 @@
+"""Greedy geographic forwarding (GPSR greedy mode).
+
+Each node forwards to the one-hop neighbor geographically closest to the
+sink, provided that neighbor is strictly closer than the node itself.  This
+is the greedy mode of GPSR; we do not implement perimeter (face) routing --
+deployments dense enough for the paper's experiments have no voids, and
+:func:`build_greedy_geographic_table` reports any node that would need it.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Topology
+from repro.routing.base import RoutingError, RoutingTable
+
+__all__ = ["build_greedy_geographic_table"]
+
+
+def build_greedy_geographic_table(
+    topology: Topology,
+    require_full_coverage: bool = True,
+) -> RoutingTable:
+    """Build a next-hop table by greedy geographic forwarding.
+
+    Args:
+        topology: the deployment (node positions drive the greedy choice).
+        require_full_coverage: if true, raise when any node is a local
+            minimum (has no neighbor strictly closer to the sink); if
+            false, such nodes are left unrouted.
+
+    Raises:
+        RoutingError: if coverage is required and some node is stuck at a
+            local minimum (a routing void).
+    """
+    sink = topology.sink
+    next_hop: dict[int, int] = {}
+    stuck: list[int] = []
+    for node in topology.nodes():
+        if node == sink:
+            continue
+        my_dist = topology.distance(node, sink)
+        best: int | None = None
+        best_dist = my_dist
+        for nbr in sorted(topology.neighbors(node)):
+            nbr_dist = topology.distance(nbr, sink)
+            if nbr_dist < best_dist:
+                best, best_dist = nbr, nbr_dist
+        if best is None:
+            stuck.append(node)
+        else:
+            next_hop[node] = best
+    if stuck and require_full_coverage:
+        raise RoutingError(
+            f"greedy forwarding stuck at local minima for node(s) "
+            f"{sorted(stuck)[:10]}{'...' if len(stuck) > 10 else ''}; "
+            f"the deployment has voids (perimeter routing not implemented)"
+        )
+    table = RoutingTable(next_hop, sink=sink)
+    if not stuck:
+        _check_acyclic(table)
+    return table
+
+
+def _check_acyclic(table: RoutingTable) -> None:
+    """Greedy-over-distance is provably loop-free; verify as a guard."""
+    for node in table.routed_nodes():
+        table.path_to_sink(node)  # raises RoutingError on a loop

@@ -1,0 +1,60 @@
+"""Tree-based routing: a shortest-path tree rooted at the sink.
+
+This models TinyDB-style collection trees: BFS from the sink assigns every
+node a depth, and each node picks one parent among its neighbors at the
+previous depth.  Ties between equally-deep parent candidates are broken
+either deterministically (lowest ID, the default) or by a seeded RNG, which
+lets :mod:`repro.routing.dynamics` generate alternative-but-equally-short
+trees to model route churn.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.topology import Topology
+from repro.routing.base import RoutingError, RoutingTable
+
+__all__ = ["build_routing_tree"]
+
+
+def build_routing_tree(
+    topology: Topology,
+    tie_break_seed: int | None = None,
+    require_full_coverage: bool = True,
+) -> RoutingTable:
+    """Build a BFS shortest-path tree toward the sink.
+
+    Args:
+        topology: the deployment.
+        tie_break_seed: if ``None``, each node parents on its lowest-ID
+            eligible neighbor (deterministic); otherwise parents are chosen
+            uniformly among eligible neighbors with this seed.
+        require_full_coverage: if true, raise when some node cannot reach
+            the sink; if false, unreachable nodes are simply left unrouted.
+
+    Raises:
+        RoutingError: if coverage is required and the topology is
+            disconnected.
+    """
+    depths = topology.hop_distances()
+    if require_full_coverage and len(depths) != topology.num_nodes():
+        unreachable = sorted(set(topology.nodes()) - set(depths))
+        raise RoutingError(
+            f"{len(unreachable)} node(s) cannot reach the sink: "
+            f"{unreachable[:10]}{'...' if len(unreachable) > 10 else ''}"
+        )
+
+    rng = random.Random(tie_break_seed) if tie_break_seed is not None else None
+    next_hop: dict[int, int] = {}
+    for node, depth in depths.items():
+        if node == topology.sink:
+            continue
+        candidates = sorted(
+            nbr for nbr in topology.neighbors(node) if depths.get(nbr) == depth - 1
+        )
+        if rng is None:
+            next_hop[node] = candidates[0]
+        else:
+            next_hop[node] = rng.choice(candidates)
+    return RoutingTable(next_hop, sink=topology.sink)

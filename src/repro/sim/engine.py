@@ -1,0 +1,116 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, action)`` triples in a binary heap; the
+sequence number makes simultaneous events fire in scheduling order, so runs
+are fully deterministic given deterministic actions.  Actions are plain
+callables; cancellation is handled by tombstoning the event handle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Single-threaded event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` at ``now + delay``.
+
+        Raises:
+            ValueError: if ``delay`` is negative (time travels forward only).
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}, clock is already at {self.now}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Drain the queue.
+
+        Args:
+            until: stop once the clock would pass this time (events at
+                exactly ``until`` still fire).
+            max_events: safety valve against runaway event cascades.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            self.step()
+            fired += 1
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now:.6f}, pending={self.pending()})"

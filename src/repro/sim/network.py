@@ -1,0 +1,198 @@
+"""Discrete-event simulation of a full sensor deployment.
+
+Wires together a topology, a routing table, per-node forwarding behaviors,
+a link model and one or more report sources, delivering surviving packets
+to a :class:`~repro.traceback.sink.TracebackSink`.  Used by the examples
+and integration tests; the paper's figure experiments use the faster
+:class:`~repro.sim.pipeline.PathPipeline` since they only vary path length.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+
+from repro.net.links import LinkModel
+from repro.net.topology import Topology
+from repro.packets.packet import MarkedPacket
+from repro.routing.base import RoutingTable
+from repro.sim.behaviors import ForwardingBehavior
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.sources import ReportSource
+from repro.sim.tracing import PacketTracer
+from repro.traceback.sink import TracebackSink
+
+__all__ = ["NetworkSimulation"]
+
+
+class NetworkSimulation:
+    """Event-driven packet forwarding over a deployment.
+
+    Args:
+        topology: the deployment graph.
+        routing: next-hop table toward the sink.
+        behaviors: forwarding behavior for every non-sink node that may
+            carry traffic (honest forwarders and moles alike).
+        sink: the traceback sink.
+        link: per-hop delay/loss model.
+        rng: drives link losses and source jitter.
+        metrics: optional shared metrics collector.
+        suspicious: predicate choosing which delivered packets are fed to
+            traceback (Section 7, "Background Traffic"); default: all.
+        tracer: optional :class:`~repro.sim.tracing.PacketTracer` that
+            records every packet lifecycle event for debugging.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingTable,
+        behaviors: Mapping[int, ForwardingBehavior],
+        sink: TracebackSink,
+        link: LinkModel | None = None,
+        rng: random.Random | None = None,
+        metrics: MetricsCollector | None = None,
+        suspicious: Callable[[MarkedPacket], bool] | None = None,
+        tracer: PacketTracer | None = None,
+    ):
+        self.topology = topology
+        self.routing = routing
+        self.behaviors = dict(behaviors)
+        self.sink = sink
+        self.link = link if link is not None else LinkModel()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.suspicious = suspicious if suspicious is not None else (lambda _: True)
+        self.tracer = tracer
+        self.sim = Simulator()
+        self.delivered: list[MarkedPacket] = []
+        self._quarantined: set[int] = set()
+
+    # Isolation ---------------------------------------------------------------
+
+    def quarantine(self, node_ids: set[int]) -> None:
+        """Stop accepting transmissions from ``node_ids``.
+
+        Models the paper's fight-back step: neighbors are notified not to
+        forward traffic from identified moles (Section 2.2).  Quarantined
+        nodes' transmissions are dropped by their neighbors, cutting the
+        attack traffic off at its first hop.
+        """
+        self._quarantined |= set(node_ids)
+
+    @property
+    def quarantined(self) -> frozenset[int]:
+        return frozenset(self._quarantined)
+
+    # Traffic scheduling ------------------------------------------------------
+
+    def add_periodic_source(
+        self,
+        source: ReportSource,
+        interval: float,
+        count: int,
+        start: float = 0.0,
+        jitter: float = 0.0,
+    ) -> None:
+        """Schedule ``count`` injections from ``source`` every ``interval``.
+
+        Args:
+            source: the injecting node's report generator.
+            interval: seconds between consecutive reports.
+            count: total reports to inject.
+            start: virtual time of the first injection.
+            jitter: uniform +/- jitter applied to each interval.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+
+        def inject(remaining: int) -> None:
+            self._inject(source)
+            if remaining > 1:
+                delay = interval
+                if jitter:
+                    delay = max(1e-9, interval + self.rng.uniform(-jitter, jitter))
+                self.sim.schedule(delay, lambda: inject(remaining - 1))
+
+        if count > 0:
+            self.sim.schedule_at(start, lambda: inject(count))
+
+    def _inject(self, source: ReportSource) -> None:
+        packet = source.next_packet(timestamp=int(self.sim.now * 1000))
+        self.metrics.record_injection()
+        self._trace("inject", source.node_id, packet)
+        self._transmit(source.node_id, packet, injected_at=self.sim.now)
+
+    def _trace(self, kind: str, node: int, packet: MarkedPacket) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, kind, node, packet.report)
+
+    # Forwarding --------------------------------------------------------------
+
+    def _transmit(
+        self, from_node: int, packet: MarkedPacket, injected_at: float
+    ) -> None:
+        """Send ``packet`` from ``from_node`` toward its next hop."""
+        if from_node in self._quarantined:
+            # Neighbors ignore transmissions from quarantined nodes; the
+            # packet dies at this hop without consuming downstream energy.
+            self.metrics.record_drop()
+            return
+        next_hop = self.routing.next_hop(from_node)
+        self.metrics.record_transmission(from_node, packet.wire_len)
+        if not self.link.is_delivered(self.rng):
+            self.metrics.record_loss()
+            self._trace("loss", from_node, packet)
+            return
+        delay = self.link.transmission_delay(packet.wire_len)
+        self.sim.schedule(
+            delay,
+            lambda: self._arrive(next_hop, from_node, packet, injected_at),
+        )
+
+    def _arrive(
+        self,
+        node: int,
+        from_node: int,
+        packet: MarkedPacket,
+        injected_at: float,
+    ) -> None:
+        if node == self.topology.sink:
+            self._deliver(packet, delivering_node=from_node, injected_at=injected_at)
+            return
+        behavior = self.behaviors.get(node)
+        if behavior is None:
+            raise KeyError(
+                f"node {node} is on a forwarding path but has no behavior"
+            )
+        forwarded = behavior.forward(packet)
+        if forwarded is None:
+            self.metrics.record_drop()
+            self._trace("drop", node, packet)
+            return
+        self._trace("forward", node, forwarded)
+        self._transmit(node, forwarded, injected_at)
+
+    def _deliver(
+        self, packet: MarkedPacket, delivering_node: int, injected_at: float
+    ) -> None:
+        self.metrics.record_delivery(delay=self.sim.now - injected_at)
+        self._trace("deliver", delivering_node, packet)
+        self.delivered.append(packet)
+        if self.suspicious(packet):
+            self.sink.receive(packet, delivering_node)
+
+    # Execution ---------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain scheduled traffic (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkSimulation({self.topology!r}, now={self.sim.now:.3f}, "
+            f"delivered={len(self.delivered)})"
+        )

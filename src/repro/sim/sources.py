@@ -1,0 +1,111 @@
+"""Report sources: who injects traffic and what it looks like.
+
+A source produces fully formed :class:`~repro.packets.packet.MarkedPacket`
+values ready to hand to its first forwarder.  Honest sensors report real
+events; a *source mole* fabricates bogus reports that conform to the
+legitimate format but describe events that never happened (Section 2.2).
+Bogus reports cannot all be identical -- duplicate suppression would drop
+them -- so each one carries fresh event bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+
+__all__ = ["ReportSource", "HonestReportSource", "BogusReportSource"]
+
+
+@runtime_checkable
+class ReportSource(Protocol):
+    """Produces the packets a node injects into the network.
+
+    Attributes:
+        node_id: the injecting node.
+    """
+
+    node_id: int
+
+    def next_packet(self, timestamp: int) -> MarkedPacket:
+        """Fabricate the next report, stamped with ``timestamp``."""
+        ...
+
+
+class HonestReportSource:
+    """A legitimate sensor reporting genuine readings.
+
+    Args:
+        node_id: the sensing node.
+        location: where its events occur (its own position, typically).
+        rng: randomness for the reading payload.
+        event_size: payload bytes per report.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        location: tuple[float, float],
+        rng: random.Random,
+        event_size: int = 8,
+    ):
+        if event_size < 1:
+            raise ValueError(f"event_size must be >= 1, got {event_size}")
+        self.node_id = node_id
+        self.location = location
+        self._rng = rng
+        self._event_size = event_size
+        self.reports_generated = 0
+
+    def next_packet(self, timestamp: int) -> MarkedPacket:
+        """Produce one genuine reading stamped with ``timestamp``."""
+        event = self._rng.randbytes(self._event_size)
+        report = Report(event=event, location=self.location, timestamp=timestamp)
+        self.reports_generated += 1
+        return MarkedPacket(report=report, origin=self.node_id)
+
+
+class BogusReportSource:
+    """A source mole fabricating well-formed but false reports.
+
+    Each report gets unique event bytes (a counter mixed with random
+    padding), defeating naive duplicate suppression while remaining
+    format-valid, exactly as the threat model requires.
+
+    Args:
+        node_id: the compromised node.
+        claimed_location: the (false) event location written into reports.
+        rng: the mole's randomness.
+        event_size: payload bytes per report (>= 8 to fit the counter).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        claimed_location: tuple[float, float],
+        rng: random.Random,
+        event_size: int = 8,
+    ):
+        if event_size < 8:
+            raise ValueError(
+                f"event_size must be >= 8 to keep reports unique, got {event_size}"
+            )
+        self.node_id = node_id
+        self.claimed_location = claimed_location
+        self._rng = rng
+        self._event_size = event_size
+        self.reports_generated = 0
+
+    def next_packet(self, timestamp: int) -> MarkedPacket:
+        """Fabricate one unique bogus report stamped with ``timestamp``."""
+        counter = self.reports_generated.to_bytes(8, "big")
+        padding = self._rng.randbytes(self._event_size - 8)
+        report = Report(
+            event=counter + padding,
+            location=self.claimed_location,
+            timestamp=timestamp,
+        )
+        self.reports_generated += 1
+        return MarkedPacket(report=report, origin=self.node_id)

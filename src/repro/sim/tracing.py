@@ -1,0 +1,116 @@
+"""Structured simulation tracing: per-packet journey logs.
+
+Debugging a traceback failure usually means asking "what happened to
+packet 37 between V4 and the sink?"  A :class:`PacketTracer` attached to a
+:class:`~repro.sim.network.NetworkSimulation` records every lifecycle
+event with its virtual timestamp, and can reconstruct any packet's journey
+or summarize drop locations.
+
+Packets are tracked by the digest of their report (the content identity
+that survives marking).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.packets.report import Report
+
+__all__ = ["TraceEvent", "PacketTracer"]
+
+#: Event kinds emitted by the simulator.
+EVENT_KINDS = ("inject", "forward", "drop", "loss", "deliver")
+
+
+def _packet_key(report: Report) -> bytes:
+    return hashlib.sha256(b"trace" + report.encode()).digest()[:8]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a packet's journey.
+
+    Attributes:
+        time: virtual time of the event.
+        kind: one of ``inject``, ``forward``, ``drop``, ``loss``,
+            ``deliver``.
+        node: where it happened (the acting node; for ``deliver`` the
+            delivering neighbor).
+        packet_key: content identity of the packet.
+    """
+
+    time: float
+    kind: str
+    node: int
+    packet_key: bytes
+
+
+class PacketTracer:
+    """Collects :class:`TraceEvent` records during a simulation run.
+
+    Args:
+        max_events: hard cap to bound memory in very long runs; the
+            oldest events are NOT evicted -- recording simply stops, and
+            :attr:`truncated` is set, because partial journeys are worse
+            than a loud flag.
+    """
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.truncated = False
+
+    def record(self, time: float, kind: str, node: int, report: Report) -> None:
+        """Append one event (called by the simulator)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(
+            TraceEvent(
+                time=time, kind=kind, node=node, packet_key=_packet_key(report)
+            )
+        )
+
+    # Queries -----------------------------------------------------------------
+
+    def journey(self, report: Report) -> list[TraceEvent]:
+        """Every event for one packet, in time order."""
+        key = _packet_key(report)
+        return [e for e in self.events if e.packet_key == key]
+
+    def fate(self, report: Report) -> str:
+        """How the packet's story ended: last event kind, or ``"unknown"``."""
+        events = self.journey(report)
+        return events[-1].kind if events else "unknown"
+
+    def drop_locations(self) -> Counter[int]:
+        """Node -> intentional drops there (filtering or mole activity)."""
+        return Counter(e.node for e in self.events if e.kind == "drop")
+
+    def loss_locations(self) -> Counter[int]:
+        """Node -> radio losses on that node's transmissions."""
+        return Counter(e.node for e in self.events if e.kind == "loss")
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind."""
+        counter = Counter(e.kind for e in self.events)
+        return {kind: counter.get(kind, 0) for kind in EVENT_KINDS}
+
+    def format_journey(self, report: Report) -> str:
+        """A human-readable one-packet trace."""
+        events = self.journey(report)
+        if not events:
+            return "(no events recorded for this packet)"
+        lines = [
+            f"t={e.time:9.4f} {e.kind:8s} @ node {e.node}" for e in events
+        ]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

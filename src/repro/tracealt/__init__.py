@@ -1,0 +1,63 @@
+"""Alternative traceback approaches (Section 8 related work).
+
+Besides packet marking, two traceback families exist; the paper argues
+against both for sensor networks, and this package implements them so the
+argument can be measured rather than asserted:
+
+* :mod:`repro.tracealt.logging` -- **logging** (hash-based IP traceback /
+  SPIE [Snoeren et al.]): every node stores digests of recently forwarded
+  packets in a Bloom filter; the sink reconstructs a packet's path by
+  recursively querying neighbors "did you forward this?".  Costs per-node
+  storage plus a query/reply control protocol that moles can subvert by
+  lying.
+* :mod:`repro.tracealt.notification` -- **notification** (ICMP traceback
+  [Bellovin]): each forwarder probabilistically sends the sink a separate
+  message naming itself and its previous hop for a packet.  Costs extra
+  messages; unauthenticated notifications are trivially forgeable by
+  moles, and even authenticated ones can be withheld.
+* :mod:`repro.tracealt.edge_sampling` -- the original Savage et al.
+  **edge-sampling PPM** with its single overwritable mark slot: elegant on
+  the Internet, trivially forged by a forwarding mole in a sensor network.
+
+The comparison experiment (:mod:`repro.experiments.approaches`) tabulates
+per-packet bytes, per-node storage, control messages, and colluding-mole
+outcomes for all four approaches.
+"""
+
+from repro.tracealt.edge_sampling import (
+    EdgeForgingMole,
+    EdgeSample,
+    EdgeSamplingForwarder,
+    EdgeSamplingSink,
+)
+from repro.tracealt.logging import (
+    BloomFilter,
+    DenyingLogMole,
+    LoggingNode,
+    LoggingTracer,
+    PacketLog,
+)
+from repro.tracealt.notification import (
+    ForgingNotificationMole,
+    Notification,
+    NotificationSink,
+    NotifyingForwarder,
+    SilentNotificationMole,
+)
+
+__all__ = [
+    "EdgeSample",
+    "EdgeSamplingForwarder",
+    "EdgeForgingMole",
+    "EdgeSamplingSink",
+    "BloomFilter",
+    "PacketLog",
+    "LoggingNode",
+    "DenyingLogMole",
+    "LoggingTracer",
+    "Notification",
+    "NotifyingForwarder",
+    "SilentNotificationMole",
+    "ForgingNotificationMole",
+    "NotificationSink",
+]

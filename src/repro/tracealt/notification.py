@@ -1,0 +1,263 @@
+"""Notification-based traceback: ICMP-traceback-style messages.
+
+Each forwarder, with probability ``q``, sends the sink a *separate*
+notification message for a packet it forwards, naming itself, its previous
+hop and the report digest (Bellovin's iTrace, transplanted).  The sink
+stitches (prev_hop -> node) assertions into a path.
+
+The paper's two objections, measurable here:
+
+* **signaling cost**: every notification is an extra packet that must
+  itself be forwarded to the sink, multiplying radio traffic.
+* **abuse**: iTrace notifications are unauthenticated -- a mole forges
+  notifications naming an innocent node as the origin
+  (:class:`ForgingNotificationMole`), directly framing it.  Adding a MAC
+  (``authenticated=True``) stops forgery but not withholding
+  (:class:`SilentNotificationMole`), and the per-message cost remains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.sim.behaviors import ForwardingBehavior
+
+__all__ = [
+    "Notification",
+    "NotifyingForwarder",
+    "SilentNotificationMole",
+    "ForgingNotificationMole",
+    "NotificationSink",
+]
+
+#: Wire size of one notification message: ids (2+2), digest (8), and a
+#: report-style header -- what the radio actually pays per notification.
+NOTIFICATION_BYTES = 2 + 2 + 8 + 8
+
+
+def notification_digest(report: Report) -> bytes:
+    """Content identity of the notified report."""
+    return hashlib.sha256(b"notify-digest" + report.encode()).digest()[:8]
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One traceback notification message.
+
+    Attributes:
+        node_id: the forwarder announcing itself.
+        prev_hop: where it received the packet from (the path assertion).
+        digest: report identity.
+        mac: authentication tag (empty when the deployment runs the
+            unauthenticated iTrace variant).
+    """
+
+    node_id: int
+    prev_hop: int
+    digest: bytes
+    mac: bytes = b""
+
+    def mac_input(self) -> bytes:
+        """The bytes an authenticated notification's MAC covers."""
+        return (
+            b"notification"
+            + self.node_id.to_bytes(2, "big")
+            + self.prev_hop.to_bytes(2, "big")
+            + self.digest
+        )
+
+
+class NotifyingForwarder:
+    """An honest forwarder that probabilistically notifies the sink.
+
+    Notifications are collected out of band by a
+    :class:`NotificationSink`; in a full deployment each one would be a
+    packet routed to the sink, so the sink also accounts their bytes.
+
+    Args:
+        inner: the wrapped forwarding behavior.
+        prev_hop: the node it receives from on the (stable) route.
+        sink: the notification collector.
+        notify_prob: per-packet notification probability ``q``.
+        rng: the node's random stream.
+        key: node key; when given, notifications carry a MAC.
+        provider: MAC provider (required with ``key``).
+    """
+
+    def __init__(
+        self,
+        inner: ForwardingBehavior,
+        prev_hop: int,
+        sink: "NotificationSink",
+        notify_prob: float,
+        rng: random.Random,
+        key: bytes | None = None,
+        provider: MacProvider | None = None,
+    ):
+        if not 0.0 <= notify_prob <= 1.0:
+            raise ValueError(f"notify_prob must be in [0, 1], got {notify_prob}")
+        if key is not None and provider is None:
+            raise ValueError("authenticated notifications need a provider")
+        self.inner = inner
+        self.prev_hop = prev_hop
+        self.sink = sink
+        self.notify_prob = notify_prob
+        self.rng = rng
+        self.key = key
+        self.provider = provider
+        self.notifications_sent = 0
+
+    @property
+    def node_id(self) -> int:
+        return self.inner.node_id
+
+    def _notify(self, report: Report) -> None:
+        digest = notification_digest(report)
+        mac = b""
+        if self.key is not None:
+            assert self.provider is not None
+            draft = Notification(self.node_id, self.prev_hop, digest)
+            mac = self.provider.mac(self.key, draft.mac_input())
+        self.sink.deliver(
+            Notification(
+                node_id=self.node_id,
+                prev_hop=self.prev_hop,
+                digest=digest,
+                mac=mac,
+            )
+        )
+        self.notifications_sent += 1
+
+    def forward(self, packet: MarkedPacket) -> MarkedPacket | None:
+        """Forward, then notify the sink with probability ``q``."""
+        result = self.inner.forward(packet)
+        if result is not None and self.rng.random() < self.notify_prob:
+            self._notify(packet.report)
+        return result
+
+
+class SilentNotificationMole(NotifyingForwarder):
+    """A mole that forwards attack traffic but never notifies."""
+
+    def forward(self, packet: MarkedPacket) -> MarkedPacket | None:
+        """Forward without ever notifying."""
+        return self.inner.forward(packet)
+
+
+class ForgingNotificationMole(NotifyingForwarder):
+    """A mole that injects forged notifications framing a victim.
+
+    For every attack packet it forwards, it also emits a notification
+    claiming ``frame_victim`` received the packet from ``frame_prev`` --
+    placing the victim on (indeed, upstream of) the reconstructed path.
+    Without authentication the sink cannot tell; with authentication the
+    forged MAC never verifies (the mole lacks the victim's key).
+
+    The mole also keeps notifying honestly under its own name: announcing
+    itself as a mid-path *forwarder* is harmless (forwarders are not
+    suspects) and not doing so would make it stick out as an apparent
+    origin.
+    """
+
+    def __init__(self, *args, frame_victim: int, frame_prev: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.frame_victim = frame_victim
+        self.frame_prev = frame_prev
+
+    def forward(self, packet: MarkedPacket) -> MarkedPacket | None:
+        """Forward, notify honestly, and inject the framing forgery."""
+        result = super().forward(packet)  # honest blend-in notifications
+        if result is not None:
+            digest = notification_digest(packet.report)
+            mac = b""
+            if self.key is not None:
+                assert self.provider is not None
+                # Best the mole can do: MAC with its OWN key.
+                draft = Notification(self.frame_victim, self.frame_prev, digest)
+                mac = self.provider.mac(self.key, draft.mac_input())
+            self.sink.deliver(
+                Notification(
+                    node_id=self.frame_victim,
+                    prev_hop=self.frame_prev,
+                    digest=digest,
+                    mac=mac,
+                )
+            )
+            self.notifications_sent += 1
+        return result
+
+
+class NotificationSink:
+    """Collects notifications and reconstructs per-report paths.
+
+    Args:
+        authenticated: whether notifications must carry a valid MAC to be
+            accepted (the hardened iTrace variant).
+        keystore: node keys for MAC verification.
+        provider: MAC provider.
+    """
+
+    def __init__(
+        self,
+        authenticated: bool = False,
+        keystore: KeyStore | None = None,
+        provider: MacProvider | None = None,
+    ):
+        if authenticated and (keystore is None or provider is None):
+            raise ValueError("authenticated mode needs keystore and provider")
+        self.authenticated = authenticated
+        self.keystore = keystore
+        self.provider = provider
+        self.accepted: list[Notification] = []
+        self.rejected = 0
+        self.bytes_received = 0
+
+    def deliver(self, notification: Notification) -> None:
+        """Receive one notification message (verifying it if required)."""
+        self.bytes_received += NOTIFICATION_BYTES
+        if self.authenticated:
+            assert self.keystore is not None and self.provider is not None
+            key = self.keystore.get(notification.node_id)
+            if key is None:
+                self.rejected += 1
+                return
+            expected = self.provider.mac(key, notification.mac_input())
+            if expected != notification.mac:
+                self.rejected += 1
+                return
+        self.accepted.append(notification)
+
+    def edges_for(self, report: Report) -> set[tuple[int, int]]:
+        """All asserted ``(prev_hop, node)`` edges for one report."""
+        digest = notification_digest(report)
+        return {
+            (n.prev_hop, n.node_id)
+            for n in self.accepted
+            if n.digest == digest
+        }
+
+    def most_upstream(self, reports: list[Report]) -> int | None:
+        """The apparent origin across the notified edges of many reports.
+
+        A node is upstream of another if some edge chain links them; the
+        apparent origin is a node that appears as a ``prev_hop`` but never
+        as a notified forwarder's... strictly, never as an edge head.
+        Returns the smallest such node for determinism, or ``None``
+        without evidence.
+        """
+        heads: set[int] = set()
+        tails: set[int] = set()
+        for report in reports:
+            for prev, node in self.edges_for(report):
+                tails.add(prev)
+                heads.add(node)
+        origins = tails - heads
+        if not origins:
+            return None
+        return min(origins)

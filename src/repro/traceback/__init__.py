@@ -1,0 +1,47 @@
+"""Sink-side traceback engine.
+
+The traceback pipeline is scheme-agnostic:
+
+1. :mod:`repro.traceback.verify` -- verify the marks of each received
+   packet backwards (Section 4.1's procedure), resolving anonymous IDs via
+   :mod:`repro.traceback.resolver`.
+2. :mod:`repro.traceback.reconstruct` -- accumulate verified chains into a
+   precedence graph over forwarding nodes (the matrix ``M`` of Section 4.2)
+   and detect identity-swapping loops.
+3. :mod:`repro.traceback.localize` -- turn the reconstructed route into a
+   suspect one-hop neighborhood (the paper's traceback precision unit).
+4. :mod:`repro.traceback.sink` -- the stateful sink that drives 1-3 as
+   packets arrive.
+"""
+
+from repro.traceback.localize import SuspectNeighborhood, localize
+from repro.traceback.multisource import MultiSourceTracebackSink, MultiSourceVerdict
+from repro.traceback.precision import PairAwareNestedMarking, SuspectPair, refine_to_pair
+from repro.traceback.reconstruct import PrecedenceGraph, RouteAnalysis
+from repro.traceback.resolver import (
+    AdaptiveBoundedResolver,
+    ExhaustiveResolver,
+    TopologyBoundedResolver,
+)
+from repro.traceback.sink import TracebackSink, TracebackVerdict
+from repro.traceback.verify import PacketVerification, PacketVerifier, VerifiedMark
+
+__all__ = [
+    "PacketVerifier",
+    "PacketVerification",
+    "VerifiedMark",
+    "ExhaustiveResolver",
+    "TopologyBoundedResolver",
+    "AdaptiveBoundedResolver",
+    "PrecedenceGraph",
+    "RouteAnalysis",
+    "SuspectNeighborhood",
+    "localize",
+    "TracebackSink",
+    "TracebackVerdict",
+    "MultiSourceTracebackSink",
+    "MultiSourceVerdict",
+    "PairAwareNestedMarking",
+    "SuspectPair",
+    "refine_to_pair",
+]

@@ -1,0 +1,91 @@
+"""Turning route analysis into a suspect neighborhood.
+
+PNM's precision unit is "one node and its one-hop neighbors, and there must
+be at least one mole among these nodes" (Section 4).  This module maps a
+:class:`~repro.traceback.reconstruct.RouteAnalysis` (or a single-packet
+stopping node) onto the deployment topology to produce that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import Topology
+from repro.traceback.reconstruct import RouteAnalysis
+
+__all__ = ["SuspectNeighborhood", "localize"]
+
+
+@dataclass(frozen=True)
+class SuspectNeighborhood:
+    """The traceback output: a center node and its closed neighborhood.
+
+    Attributes:
+        center: the traceback stopping node (most upstream marker, loop
+            attachment, or delivering node as a last resort).
+        members: ``center`` plus its one-hop radio neighbors.
+        via_loop: whether the center came from identity-swapping loop
+            analysis rather than a loop-free most-upstream node.
+    """
+
+    center: int
+    members: frozenset[int]
+    via_loop: bool = False
+
+    def contains_any(self, nodes: set[int]) -> bool:
+        """Whether any of ``nodes`` (e.g. the true moles) is implicated."""
+        return bool(self.members & nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def localize(
+    analysis: RouteAnalysis,
+    topology: Topology,
+    delivering_node: int | None = None,
+) -> SuspectNeighborhood | None:
+    """Produce the suspect neighborhood implied by ``analysis``.
+
+    Args:
+        analysis: current precedence-graph interpretation.
+        topology: deployment graph (for one-hop neighborhoods).
+        delivering_node: the sink's radio neighbor that handed over the
+            attack traffic; used as a fallback center when a loop attaches
+            directly to the sink or nothing was ever verified.
+
+    Returns:
+        The suspect neighborhood, or ``None`` when the evidence does not
+        yet single out a center (traceback still equivocal).
+    """
+    if analysis.unequivocal and analysis.most_upstream is not None:
+        return SuspectNeighborhood(
+            center=analysis.most_upstream,
+            members=frozenset(topology.closed_neighborhood(analysis.most_upstream)),
+        )
+    if analysis.has_loop:
+        if analysis.loop_attachment is not None:
+            center = analysis.loop_attachment
+        elif delivering_node is not None:
+            # The loop reached the sink with no line nodes in between: the
+            # delivering neighbor plays the role of the attachment point.
+            center = delivering_node
+        else:
+            return None
+        return SuspectNeighborhood(
+            center=center,
+            members=frozenset(topology.closed_neighborhood(center)),
+            via_loop=True,
+        )
+    if not analysis.observed and delivering_node is not None:
+        # No mark ever verified (e.g. the NoMarking baseline, or a mole
+        # stripping every mark next to the sink): all the sink knows is
+        # which neighbor delivered the traffic.
+        return SuspectNeighborhood(
+            center=delivering_node,
+            members=frozenset(topology.closed_neighborhood(delivering_node)),
+        )
+    return None

@@ -1,0 +1,154 @@
+"""Pair-precision traceback (Section 7's neighbor-authentication upgrade).
+
+Plain PNM localizes a mole to a closed one-hop *neighborhood*, because a
+mole "can claim different identities in communicating with its neighbors".
+With pairwise neighbor authentication (:mod:`repro.crypto.pairwise`) every
+node knows cryptographically who handed it each packet, so marks can
+additionally carry the marker's **authenticated previous hop**, and the
+sink can narrow the suspect set to a *pair*:
+
+    the traceback stopping node ``V`` (whose mark is the last valid one)
+    together with the previous hop ``P`` that ``V`` reports.
+
+Why a mole must be in ``{V, P}`` under deterministic marking: if ``V`` is
+honest, its reported ``P`` is truthful (neighbor auth) and ``P``'s mark is
+missing or invalid even though every honest forwarder marks every packet
+-- so ``P`` is a mole or the injecting source.  If ``V`` lied about ``P``,
+``V`` is itself compromised.  (With probabilistic marking the same holds
+asymptotically for the converged most upstream marker, whose reported
+previous hop is the source's delivery edge.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider, constant_time_equal
+from repro.marking.base import NodeContext
+from repro.marking.nested import NestedMarking
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.traceback.verify import PacketVerification
+
+__all__ = ["PairAwareNestedMarking", "SuspectPair", "refine_to_pair"]
+
+
+class PairAwareNestedMarking(NestedMarking):
+    """Nested marking whose marks embed the authenticated previous hop.
+
+    The ID field doubles in width: ``[own ID][prev-hop ID]``, both covered
+    by the nested MAC.  Requires node contexts with ``prev_hop`` set (i.e.
+    a deployment running pairwise neighbor authentication).
+    """
+
+    name = "pair-nested"
+
+    def __init__(self, id_len: int = 2, mac_len: int = 4):
+        super().__init__(id_len=id_len, mac_len=mac_len)
+        self._id_len = id_len
+        # The wire format sees one opaque ID field of twice the width.
+        self.fmt = MarkFormat(id_len=2 * id_len, mac_len=mac_len)
+
+    def _encode_ids(self, node_id: int, prev_hop: int) -> bytes:
+        single = MarkFormat(id_len=self._id_len, mac_len=self.fmt.mac_len)
+        return single.encode_node_id(node_id) + single.encode_node_id(prev_hop)
+
+    def _decode_ids(self, id_field: bytes) -> tuple[int, int]:
+        half = self._id_len
+        return (
+            int.from_bytes(id_field[:half], "big"),
+            int.from_bytes(id_field[half:], "big"),
+        )
+
+    def _build_mark(
+        self, ctx: NodeContext, packet: MarkedPacket, written_id: int
+    ) -> Mark:
+        if ctx.prev_hop is None:
+            raise ValueError(
+                "pair-aware marking needs ctx.prev_hop (pairwise neighbor "
+                "authentication must be deployed)"
+            )
+        id_field = self._encode_ids(written_id, ctx.prev_hop)
+        mac = ctx.provider.mac(ctx.key, packet.wire() + id_field)
+        return Mark(id_field=id_field, mac=mac)
+
+    def candidate_marker_ids(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        keystore: KeyStore,
+        provider: MacProvider,
+        search_ids: list[int] | None = None,
+        table: object | None = None,
+    ) -> list[int]:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return []
+        node_id, _prev = self._decode_ids(mark.id_field)
+        return [node_id] if node_id in keystore else []
+
+    def verify_mark_as(
+        self,
+        packet: MarkedPacket,
+        mark_index: int,
+        node_id: int,
+        key: bytes,
+        provider: MacProvider,
+    ) -> bool:
+        mark = packet.marks[mark_index]
+        if not mark.matches_format(self.fmt):
+            return False
+        marked_id, _prev = self._decode_ids(mark.id_field)
+        if marked_id != node_id:
+            return False
+        prefix = packet.prefix_wire(mark_index)
+        expected = provider.mac(key, prefix + mark.id_field)
+        return constant_time_equal(expected, mark.mac)
+
+    def reported_prev_hop(self, packet: MarkedPacket, mark_index: int) -> int:
+        """The previous hop the marker embedded (verified via the MAC)."""
+        _node, prev = self._decode_ids(packet.marks[mark_index].id_field)
+        return prev
+
+
+@dataclass(frozen=True)
+class SuspectPair:
+    """The refined traceback output: two nodes, one of them compromised.
+
+    Attributes:
+        stop_node: the most upstream verified marker.
+        reported_prev: the previous hop it attests to.
+        members: the pair as a set (drop-in for neighborhood scoring).
+    """
+
+    stop_node: int
+    reported_prev: int
+    members: frozenset[int]
+
+    def contains_any(self, nodes: set[int]) -> bool:
+        """Whether any of ``nodes`` (e.g. the true moles) is in the pair."""
+        return bool(self.members & nodes)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def refine_to_pair(
+    verification: PacketVerification,
+    scheme: PairAwareNestedMarking,
+) -> SuspectPair | None:
+    """Narrow a packet's verification to the stop-node/previous-hop pair.
+
+    Returns ``None`` when no mark verified (the caller falls back to the
+    delivering neighbor, as usual).
+    """
+    if not verification.verified:
+        return None
+    stop = verification.verified[0]
+    prev = scheme.reported_prev_hop(verification.packet, stop.index)
+    return SuspectPair(
+        stop_node=stop.real_id,
+        reported_prev=prev,
+        members=frozenset({stop.real_id, prev}),
+    )

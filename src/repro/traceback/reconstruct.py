@@ -1,0 +1,189 @@
+"""Route reconstruction from verified mark chains (Section 4.2).
+
+The sink maintains a *precedence graph* over verified markers: whenever two
+consecutive MACs within one packet verify, the earlier marker is upstream
+of the later one (the matrix ``M`` of the paper).  As packets accumulate,
+the graph converges to the forwarding order.
+
+Two route shapes can emerge:
+
+* **loop-free** -- all attacks except identity swapping.  The source mole
+  (or a mark-removing forwarding mole) appears in the one-hop neighborhood
+  of the *most upstream* node: the unique node with no upstream edge.
+* **loops** -- identity swapping (Section 4.2, Figure 2): two moles leave
+  valid marks with each other's keys, so each appears both upstream and
+  downstream of the other, forming a strongly connected component.  The
+  remaining nodes still form a line to the sink, and a mole is within one
+  hop of the line node where the loop attaches (Theorem 4's proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = ["PrecedenceGraph", "RouteAnalysis"]
+
+
+@dataclass(frozen=True)
+class RouteAnalysis:
+    """A snapshot interpretation of the precedence graph.
+
+    Attributes:
+        observed: every node with at least one verified mark so far.
+        source_candidates: nodes that could still be the most upstream:
+            members of source components (in-degree-0 components of the
+            SCC condensation).
+        unequivocal: True when exactly one source component exists and it
+            is a single node -- the sink has pinned down the most upstream
+            marker (Figures 6/7's success criterion).
+        most_upstream: that node when ``unequivocal``, else ``None``.
+        loops: node sets of all non-trivial strongly connected components
+            (identity-swapping signatures).
+        loop_attachment: when a loop is the unique source component, the
+            most upstream *line* node it feeds into -- the paper's
+            "intersection of the loop and the line"; ``None`` if the loop
+            connects straight to the sink (no line nodes observed) or no
+            loop exists.
+    """
+
+    observed: frozenset[int]
+    source_candidates: frozenset[int]
+    unequivocal: bool
+    most_upstream: int | None
+    loops: tuple[frozenset[int], ...]
+    loop_attachment: int | None
+
+    @property
+    def has_loop(self) -> bool:
+        return bool(self.loops)
+
+
+@dataclass
+class PrecedenceGraph:
+    """Accumulates upstream/downstream evidence across packets.
+
+    Edges mean "verified directly before within some packet", i.e. the
+    upstream relation of Section 4.2's matrix ``M``.
+    """
+
+    _graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_chain(self, chain_ids: list[int]) -> None:
+        """Record one packet's verified marker chain (upstream first).
+
+        A single-element chain only records the node's existence; longer
+        chains add a precedence edge per consecutive pair.
+        """
+        for node in chain_ids:
+            self._graph.add_node(node)
+        for upstream, downstream in zip(chain_ids, chain_ids[1:]):
+            if upstream != downstream:
+                self._graph.add_edge(upstream, downstream)
+
+    @property
+    def observed(self) -> set[int]:
+        """All nodes seen in at least one verified chain."""
+        return set(self._graph.nodes)
+
+    def observed_count(self) -> int:
+        """Number of distinct verified markers seen so far."""
+        return self._graph.number_of_nodes()
+
+    def has_edge(self, upstream: int, downstream: int) -> bool:
+        """Whether a direct upstream->downstream observation exists."""
+        return self._graph.has_edge(upstream, downstream)
+
+    def upstream_of(self, node: int) -> set[int]:
+        """Direct upstream neighbors recorded for ``node``."""
+        return set(self._graph.predecessors(node))
+
+    def analyze(self) -> RouteAnalysis:
+        """Interpret the current evidence (see :class:`RouteAnalysis`)."""
+        graph = self._graph
+        if graph.number_of_nodes() == 0:
+            return RouteAnalysis(
+                observed=frozenset(),
+                source_candidates=frozenset(),
+                unequivocal=False,
+                most_upstream=None,
+                loops=(),
+                loop_attachment=None,
+            )
+
+        components = list(nx.strongly_connected_components(graph))
+        condensation = nx.condensation(graph, scc=components)
+        source_comps = [
+            comp for comp in condensation.nodes if condensation.in_degree(comp) == 0
+        ]
+        loops = tuple(
+            frozenset(members) for members in components if len(members) > 1
+        )
+        candidates: set[int] = set()
+        for comp in source_comps:
+            candidates.update(condensation.nodes[comp]["members"])
+
+        unequivocal = False
+        most_upstream: int | None = None
+        loop_attachment: int | None = None
+        if len(source_comps) == 1:
+            members = condensation.nodes[source_comps[0]]["members"]
+            if len(members) == 1:
+                unequivocal = True
+                most_upstream = next(iter(members))
+            else:
+                # The unique source component is a loop: find the most
+                # upstream line node, i.e. the loop's attachment point.
+                loop_attachment = self._attachment_point(
+                    graph, set(members)
+                )
+        return RouteAnalysis(
+            observed=frozenset(graph.nodes),
+            source_candidates=frozenset(candidates),
+            unequivocal=unequivocal,
+            most_upstream=most_upstream,
+            loops=loops,
+            loop_attachment=loop_attachment,
+        )
+
+    @staticmethod
+    def _attachment_point(graph: nx.DiGraph, loop: set[int]) -> int | None:
+        """The line node the loop feeds into (Figure 2's intersection).
+
+        Line nodes reachable from the loop whose *only* upstream evidence
+        comes from the loop are directly downstream of it; among those the
+        most upstream one is the attachment.  If the loop has no outgoing
+        edges (it delivered straight to the sink) there is no line node.
+        """
+        direct = {
+            succ
+            for member in loop
+            for succ in graph.successors(member)
+            if succ not in loop
+        }
+        if not direct:
+            return None
+        # Among nodes directly downstream of the loop, the attachment is
+        # the one not downstream of any other direct successor (i.e. the
+        # most upstream of them on the line).
+        for node in sorted(direct):
+            others = direct - {node}
+            if not others:
+                return node
+            reaches_node = any(
+                nx.has_path(graph, other, node) for other in others
+            )
+            if not reaches_node:
+                return node
+        return min(direct)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying precedence digraph."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"PrecedenceGraph({self._graph.number_of_nodes()} nodes, "
+            f"{self._graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,214 @@
+"""The stateful traceback sink.
+
+Feeds every received suspicious packet through the verifier, accumulates
+verified chains in the precedence graph, and answers "where is the mole?"
+both per packet (single-packet traceback, exact for deterministic nested
+marking) and in aggregate (probabilistic marking, Figures 5-7).
+
+Which packets count as suspicious is outside PNM proper (Section 7
+"Background Traffic"): the caller decides what to feed in, e.g. everything
+from an event region known to be quiet, or reports flagged by en-route
+filtering (:mod:`repro.filtering`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider
+from repro.marking.base import MarkingScheme
+from repro.net.topology import Topology
+from repro.packets.packet import MarkedPacket
+from repro.traceback.localize import SuspectNeighborhood, localize
+from repro.traceback.reconstruct import PrecedenceGraph, RouteAnalysis
+from repro.traceback.resolver import Resolver
+from repro.traceback.verify import PacketVerification, PacketVerifier
+
+__all__ = ["TracebackSink", "TracebackVerdict"]
+
+
+@dataclass(frozen=True)
+class TracebackVerdict:
+    """The sink's current answer.
+
+    Attributes:
+        identified: whether the evidence singles out a suspect neighborhood.
+        suspect: that neighborhood when ``identified``.
+        packets_used: packets processed so far.
+        loop_detected: whether identity-swapping loops were observed.
+        analysis: the underlying route analysis (for diagnostics).
+    """
+
+    identified: bool
+    suspect: SuspectNeighborhood | None
+    packets_used: int
+    loop_detected: bool
+    analysis: RouteAnalysis
+
+
+class TracebackSink:
+    """Aggregates per-packet verification into a traceback verdict.
+
+    Args:
+        scheme: the deployed marking scheme.
+        keystore: the sink's key table.
+        provider: MAC provider matching the deployment.
+        topology: deployment graph, used for suspect neighborhoods (and by
+            topology-bounded resolvers).
+        resolver: anonymous-ID search strategy (default exhaustive).
+    """
+
+    def __init__(
+        self,
+        scheme: MarkingScheme,
+        keystore: KeyStore,
+        provider: MacProvider,
+        topology: Topology,
+        resolver: Resolver | None = None,
+    ):
+        self.topology = topology
+        self.verifier = PacketVerifier(scheme, keystore, provider, resolver)
+        self.precedence = PrecedenceGraph()
+        self.packets_received = 0
+        self.fallback_searches = 0
+        self.tampered_packets = 0
+        self.chains_with_marks = 0
+        self._tamper_stop_nodes: dict[int, int] = {}
+        self._last_verification: PacketVerification | None = None
+        self._last_delivering_node: int | None = None
+
+    def receive(
+        self, packet: MarkedPacket, delivering_node: int
+    ) -> PacketVerification:
+        """Process one suspicious packet.
+
+        Args:
+            packet: the packet as received.
+            delivering_node: the sink's radio neighbor that handed it over
+                (physically known to the sink).
+
+        Returns:
+            The per-packet verification outcome.
+        """
+        verification = self.verifier.verify(packet)
+        self.packets_received += 1
+        self.fallback_searches += verification.fallback_searches
+        self.precedence.add_chain(verification.chain_ids)
+        if verification.chain_ids:
+            self.chains_with_marks += 1
+        if verification.invalid_indices:
+            # Tamper evidence: an invalid MAC never occurs in honest
+            # operation, so a mole touched this packet.  By consecutive
+            # traceability the most upstream *verified* marker of the
+            # packet (Section 4.1's stopping node) is downstream of -- and
+            # converges to one hop from -- that mole.
+            self.tampered_packets += 1
+            stop = verification.stop_node(delivering_node)
+            self._tamper_stop_nodes[stop] = (
+                self._tamper_stop_nodes.get(stop, 0) + 1
+            )
+        self._last_verification = verification
+        self._last_delivering_node = delivering_node
+        return verification
+
+    def last_packet_suspect(self) -> SuspectNeighborhood | None:
+        """Single-packet traceback from the most recent packet.
+
+        For deterministic nested marking this alone is one-hop precise
+        (Theorem 2): the suspect centers on the most upstream verified
+        marker, or on the delivering neighbor when nothing verified.
+        """
+        if self._last_verification is None:
+            return None
+        assert self._last_delivering_node is not None
+        center = self._last_verification.stop_node(self._last_delivering_node)
+        if center == self.topology.sink:
+            return None
+        return SuspectNeighborhood(
+            center=center,
+            members=frozenset(self.topology.closed_neighborhood(center)),
+        )
+
+    def route_analysis(self) -> RouteAnalysis:
+        """Interpret all evidence accumulated so far."""
+        return self.precedence.analyze()
+
+    def verdict(self) -> TracebackVerdict:
+        """The sink's aggregate answer over every packet seen so far.
+
+        Evidence is combined in the paper's order: the reconstructed route
+        (most upstream node, or the loop attachment under identity
+        swapping) when it is unequivocal, otherwise the tamper evidence
+        accumulated from packets whose MACs failed verification.
+
+        The two evidence streams are weighed by mass: when more packets
+        arrived *tampered* than contributed any verified chain, the route
+        picture is too sparse to trust (a mole invalidating nearly every
+        mark can leave one lucky lone marker looking like a unique most
+        upstream node), so the tamper stopping nodes -- each guaranteed
+        downstream of the manipulating mole by consecutive traceability --
+        decide instead.
+        """
+        analysis = self.route_analysis()
+        suspect = localize(analysis, self.topology, self._last_delivering_node)
+        if (
+            suspect is not None
+            and not suspect.via_loop
+            and self.tampered_packets > self.chains_with_marks
+        ):
+            dominant = self._tamper_suspect()
+            if dominant is not None:
+                suspect = dominant
+        if suspect is None:
+            suspect = self._tamper_suspect()
+        return TracebackVerdict(
+            identified=suspect is not None,
+            suspect=suspect,
+            packets_used=self.packets_received,
+            loop_detected=analysis.has_loop,
+            analysis=analysis,
+        )
+
+    def _tamper_suspect(self) -> SuspectNeighborhood | None:
+        """Localize from tampered packets' stopping nodes.
+
+        Each tampered packet's stopping node lies downstream of the
+        manipulating mole; the most upstream stopping node observed (per
+        the precedence evidence) converges to the mole's next marking
+        neighbor.  Centers the suspect there.
+        """
+        if not self._tamper_stop_nodes:
+            return None
+        stops = set(self._tamper_stop_nodes)
+        graph = self.precedence.to_networkx()
+
+        def is_downstream_of_another(node: int) -> bool:
+            for other in stops:
+                if other == node or other not in graph or node not in graph:
+                    continue
+                if nx.has_path(graph, other, node):
+                    return True
+            return False
+
+        most_upstream = [s for s in stops if not is_downstream_of_another(s)]
+        # Deterministic choice among incomparable stops: the most frequent,
+        # then the smallest ID.
+        center = min(
+            most_upstream,
+            key=lambda s: (-self._tamper_stop_nodes[s], s),
+        )
+        if center == self.topology.sink:
+            return None
+        return SuspectNeighborhood(
+            center=center,
+            members=frozenset(self.topology.closed_neighborhood(center)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TracebackSink(packets={self.packets_received}, "
+            f"observed={self.precedence.observed_count()})"
+        )

@@ -1,0 +1,211 @@
+"""Per-packet backward mark verification (Section 4.1's procedure).
+
+The sink verifies marks from the most downstream one backwards.  For each
+mark it resolves candidate marker IDs (trivially for plain-ID schemes, via
+key search for anonymous IDs) and checks the MAC against each candidate's
+key over the exact received bytes.
+
+Two policies, selected by the scheme:
+
+* ``"suffix"`` (nested schemes): verification stops at the first invalid
+  MAC; only the contiguous valid suffix is trusted.  Theorem 2 guarantees
+  the most upstream mark of that suffix is within one hop of a mole.
+* ``"independent"`` (PPM/AMS baselines): every individually valid mark is
+  kept, invalid ones are skipped -- faithful to how those schemes operate,
+  and the behavior their attacks exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import MacProvider
+from repro.marking.base import MarkingScheme
+from repro.packets.packet import MarkedPacket
+from repro.traceback.resolver import ExhaustiveResolver, Resolver
+
+__all__ = ["VerifiedMark", "PacketVerification", "PacketVerifier"]
+
+
+@dataclass(frozen=True)
+class VerifiedMark:
+    """A mark successfully attributed to a real node.
+
+    Attributes:
+        index: position of the mark in the packet's mark list.
+        real_id: the node whose key validated the mark.
+        ambiguous: True if more than one key validated it (possible only
+            through truncation collisions; ``real_id`` is then the smallest
+            validating ID).
+    """
+
+    index: int
+    real_id: int
+    ambiguous: bool = False
+
+
+@dataclass
+class PacketVerification:
+    """Outcome of verifying one packet's marks.
+
+    Attributes:
+        packet: the packet verified.
+        verified: attributed marks in wire order (most upstream first).
+            Under the ``"suffix"`` policy this is a contiguous suffix of
+            the mark list; under ``"independent"`` it may have gaps.
+        invalid_indices: mark positions that failed verification.  Under
+            ``"suffix"`` this holds at most the single index where the
+            backward scan stopped; marks upstream of it were not examined.
+        fallback_searches: how many marks needed the exhaustive fallback
+            after a topology-bounded search missed (cost accounting).
+    """
+
+    packet: MarkedPacket
+    verified: list[VerifiedMark] = field(default_factory=list)
+    invalid_indices: list[int] = field(default_factory=list)
+    fallback_searches: int = 0
+
+    @property
+    def chain_ids(self) -> list[int]:
+        """Verified marker IDs, most upstream first."""
+        return [vm.real_id for vm in self.verified]
+
+    @property
+    def all_valid(self) -> bool:
+        """Whether every mark present verified."""
+        return not self.invalid_indices and len(self.verified) == len(
+            self.packet.marks
+        )
+
+    def stop_node(self, delivering_node: int) -> int:
+        """The traceback stopping node for single-packet traceback.
+
+        The most upstream verified marker; if nothing verified, the node
+        that physically delivered the packet to the sink (always known to
+        the sink -- it is its own radio neighbor).
+        """
+        if self.verified:
+            return self.verified[0].real_id
+        return delivering_node
+
+
+class PacketVerifier:
+    """Stateless verifier binding a scheme, the key table and a resolver.
+
+    Args:
+        scheme: the deployed marking scheme (defines wire semantics).
+        keystore: the sink's ``node ID -> key`` table.
+        provider: MAC provider matching the one nodes used.
+        resolver: anonymous-ID search strategy; defaults to exhaustive.
+        exhaustive_fallback: when a bounded resolver finds no validating
+            candidate, retry with the full key table (recommended: bounded
+            search is an optimization and must not change results).
+    """
+
+    def __init__(
+        self,
+        scheme: MarkingScheme,
+        keystore: KeyStore,
+        provider: MacProvider,
+        resolver: Resolver | None = None,
+        exhaustive_fallback: bool = True,
+    ):
+        self.scheme = scheme
+        self.keystore = keystore
+        self.provider = provider
+        self.resolver = resolver if resolver is not None else ExhaustiveResolver()
+        self.exhaustive_fallback = exhaustive_fallback
+
+    def verify(self, packet: MarkedPacket) -> PacketVerification:
+        """Verify all marks of ``packet`` backwards."""
+        result = PacketVerification(packet=packet)
+        # The exhaustive resolution table depends only on the packet, so it
+        # is built at most once and shared across this packet's marks.
+        exhaustive_table: object | None = None
+
+        prev_verified: int | None = None
+        for index in range(len(packet.marks) - 1, -1, -1):
+            search = self.resolver.search_ids(packet, prev_verified)
+            valid_ids, used_fallback, exhaustive_table = self._validate_mark(
+                packet, index, search, exhaustive_table
+            )
+            if used_fallback:
+                result.fallback_searches += 1
+            if valid_ids:
+                real_id = min(valid_ids)
+                result.verified.insert(
+                    0,
+                    VerifiedMark(
+                        index=index,
+                        real_id=real_id,
+                        ambiguous=len(valid_ids) > 1,
+                    ),
+                )
+                prev_verified = real_id
+            else:
+                result.invalid_indices.insert(0, index)
+                if self.scheme.verification_policy == "suffix":
+                    break
+                # "independent": skip this mark, keep scanning.  The next
+                # bounded search should still anchor on the last *verified*
+                # marker, which prev_verified already holds.
+        return result
+
+    def _validate_mark(
+        self,
+        packet: MarkedPacket,
+        index: int,
+        search: list[int] | None,
+        exhaustive_table: object | None,
+    ) -> tuple[list[int], bool, object | None]:
+        """Find every node ID whose key validates mark ``index``.
+
+        Returns ``(valid_ids, used_fallback, exhaustive_table)`` where the
+        table is cached across calls for exhaustive searches.
+        """
+        if search is None:
+            if exhaustive_table is None:
+                exhaustive_table = self.scheme.build_resolution_table(
+                    packet, self.keystore, self.provider
+                )
+            valid = self._validate_within(packet, index, None, exhaustive_table)
+            return valid, False, exhaustive_table
+        valid = self._validate_within(packet, index, search, None)
+        if valid or not self.exhaustive_fallback:
+            return valid, False, exhaustive_table
+        if exhaustive_table is None:
+            exhaustive_table = self.scheme.build_resolution_table(
+                packet, self.keystore, self.provider
+            )
+        valid = self._validate_within(packet, index, None, exhaustive_table)
+        if valid:
+            # The bounded search missed a mark the exhaustive one found:
+            # adaptive resolvers use this to widen their ball.
+            notify = getattr(self.resolver, "notify_miss", None)
+            if notify is not None:
+                notify()
+        return valid, True, exhaustive_table
+
+    def _validate_within(
+        self,
+        packet: MarkedPacket,
+        index: int,
+        search: list[int] | None,
+        table: object | None,
+    ) -> list[int]:
+        candidates = self.scheme.candidate_marker_ids(
+            packet,
+            index,
+            self.keystore,
+            self.provider,
+            search_ids=search,
+            table=table,
+        )
+        return [
+            node_id
+            for node_id in candidates
+            if self.scheme.verify_mark_as(
+                packet, index, node_id, self.keystore[node_id], self.provider
+            )
+        ]

@@ -1,0 +1,242 @@
+"""Attack strategies: each manipulates exactly as specified."""
+
+import pytest
+
+from repro.adversary.attacks import (
+    CompositeAttack,
+    HonestBehaviorAttack,
+    IdentitySwappingAttack,
+    MarkAlteringAttack,
+    MarkInsertionAttack,
+    MarkRemovalAttack,
+    MarkReorderingAttack,
+    NoMarkAttack,
+    SelectiveDroppingAttack,
+    TargetedMarkRemovalAttack,
+    UnprotectedBitAlteringAttack,
+)
+from repro.adversary.coalition import Coalition
+from repro.adversary.moles import ForwardingMole
+from repro.marking.nested import NaiveProbabilisticNested, NestedMarking
+from repro.marking.pnm import PNMMarking
+from tests.conftest import ctx_for, mark_through_path
+
+
+def make_mole(attack, keystore, provider, scheme=None, node_id=5, coalition=None):
+    scheme = scheme if scheme is not None else NestedMarking()
+    return ForwardingMole(
+        ctx=ctx_for(node_id, keystore, provider),
+        scheme=scheme,
+        attack=attack,
+        coalition=coalition,
+    )
+
+
+@pytest.fixture
+def marked(keystore, provider, packet):
+    return mark_through_path(NestedMarking(), keystore, provider, [1, 2, 3], packet)
+
+
+class TestBasicAttacks:
+    def test_honest_behavior_marks(self, keystore, provider, marked):
+        mole = make_mole(HonestBehaviorAttack(), keystore, provider)
+        out = mole.forward(marked)
+        assert out.num_marks == 4
+
+    def test_no_mark_passes_through(self, keystore, provider, marked):
+        mole = make_mole(NoMarkAttack(), keystore, provider)
+        assert mole.forward(marked) == marked
+
+    def test_insertion_garbage(self, keystore, provider, marked):
+        mole = make_mole(MarkInsertionAttack(num_fake=3), keystore, provider)
+        out = mole.forward(marked)
+        assert out.num_marks == 6
+
+    def test_insertion_claims_victims_round_robin(self, keystore, provider, marked):
+        scheme = NestedMarking()
+        mole = make_mole(
+            MarkInsertionAttack(num_fake=2, claim_ids=[7, 8]),
+            keystore,
+            provider,
+            scheme,
+        )
+        out = mole.forward(marked)
+        ids = [scheme.fmt.decode_node_id(m.id_field) for m in out.marks[3:]]
+        assert ids == [7, 8]
+
+    def test_removal_upstream(self, keystore, provider, marked):
+        mole = make_mole(MarkRemovalAttack(num_remove=2), keystore, provider)
+        out = mole.forward(marked)
+        assert out.marks == marked.marks[2:]
+
+    def test_removal_all_and_remark(self, keystore, provider, marked):
+        scheme = NestedMarking()
+        mole = make_mole(
+            MarkRemovalAttack(num_remove=None, also_mark=True),
+            keystore,
+            provider,
+            scheme,
+        )
+        out = mole.forward(marked)
+        assert out.num_marks == 1
+        # The re-mark is genuinely valid over the stripped packet.
+        assert scheme.verify_mark_as(out, 0, 5, keystore[5], provider)
+
+    def test_reorder_reverse(self, keystore, provider, marked):
+        mole = make_mole(MarkReorderingAttack("reverse"), keystore, provider)
+        out = mole.forward(marked)
+        assert out.marks == tuple(reversed(marked.marks))
+
+    def test_reorder_single_mark_noop(self, keystore, provider, packet):
+        one = mark_through_path(NestedMarking(), keystore, provider, [1], packet)
+        mole = make_mole(MarkReorderingAttack("shuffle"), keystore, provider)
+        assert mole.forward(one) == one
+
+    def test_alter_first_mac(self, keystore, provider, marked):
+        mole = make_mole(MarkAlteringAttack(target="first"), keystore, provider)
+        out = mole.forward(marked)
+        assert out.marks[0].mac != marked.marks[0].mac
+        assert out.marks[0].id_field == marked.marks[0].id_field
+        assert out.marks[1:] == marked.marks[1:]
+
+    def test_alter_all_ids(self, keystore, provider, marked):
+        mole = make_mole(
+            MarkAlteringAttack(target="all", field="id"), keystore, provider
+        )
+        out = mole.forward(marked)
+        assert all(a.id_field != b.id_field for a, b in zip(out.marks, marked.marks))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            MarkInsertionAttack(num_fake=0)
+        with pytest.raises(ValueError):
+            MarkRemovalAttack(num_remove=0)
+        with pytest.raises(ValueError):
+            MarkReorderingAttack("sort")
+        with pytest.raises(ValueError):
+            MarkAlteringAttack(target="middle")
+        with pytest.raises(ValueError):
+            SelectiveDroppingAttack([])
+        with pytest.raises(ValueError):
+            TargetedMarkRemovalAttack([])
+        with pytest.raises(ValueError):
+            CompositeAttack([])
+
+
+class TestTargetedRemoval:
+    def test_removes_only_targets(self, keystore, provider, marked):
+        mole = make_mole(TargetedMarkRemovalAttack([1, 3]), keystore, provider)
+        out = mole.forward(marked)
+        fmt = NestedMarking().fmt
+        assert [fmt.decode_node_id(m.id_field) for m in out.marks] == [2]
+
+    def test_blind_against_anonymous_ids(self, keystore, provider, packet):
+        scheme = PNMMarking(mark_prob=1.0)
+        marked = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+        mole = make_mole(
+            TargetedMarkRemovalAttack([1]), keystore, provider, scheme
+        )
+        assert mole.forward(marked) == marked
+
+
+class TestSelectiveDropping:
+    def test_drops_when_target_marked(self, keystore, provider, marked):
+        mole = make_mole(SelectiveDroppingAttack([1]), keystore, provider)
+        assert mole.forward(marked) is None
+        assert mole.packets_dropped == 1
+
+    def test_forwards_when_target_absent(self, keystore, provider, packet):
+        p = mark_through_path(
+            NaiveProbabilisticNested(1.0), keystore, provider, [2, 3], packet
+        )
+        mole = make_mole(
+            SelectiveDroppingAttack([1]),
+            keystore,
+            provider,
+            NaiveProbabilisticNested(1.0),
+        )
+        assert mole.forward(p) == p
+
+    def test_blind_against_anonymous_ids(self, keystore, provider, packet):
+        scheme = PNMMarking(mark_prob=1.0)
+        p = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+        mole = make_mole(SelectiveDroppingAttack([1]), keystore, provider, scheme)
+        assert mole.forward(p) == p  # cannot read anonymous IDs: forwards
+
+
+class TestIdentitySwapping:
+    def test_marks_as_partner_with_partner_key(self, keystore, provider, packet):
+        scheme = NestedMarking()
+        coalition = Coalition({5: keystore[5], 9: keystore[9]})
+        mole = make_mole(
+            IdentitySwappingAttack(partner_id=9, swap_prob=1.0, mark_prob=1.0),
+            keystore,
+            provider,
+            scheme,
+            node_id=5,
+            coalition=coalition,
+        )
+        out = mole.forward(packet)
+        assert out.num_marks == 1
+        assert scheme.verify_mark_as(out, 0, 9, keystore[9], provider)
+
+    def test_marks_as_self_when_not_swapping(self, keystore, provider, packet):
+        scheme = NestedMarking()
+        coalition = Coalition({5: keystore[5], 9: keystore[9]})
+        mole = make_mole(
+            IdentitySwappingAttack(partner_id=9, swap_prob=0.0, mark_prob=1.0),
+            keystore,
+            provider,
+            scheme,
+            node_id=5,
+            coalition=coalition,
+        )
+        out = mole.forward(packet)
+        assert scheme.verify_mark_as(out, 0, 5, keystore[5], provider)
+
+    def test_requires_partner_key_in_coalition(self, keystore, provider, packet):
+        mole = make_mole(
+            IdentitySwappingAttack(partner_id=9, swap_prob=1.0, mark_prob=1.0),
+            keystore,
+            provider,
+        )  # default coalition: only the mole itself
+        with pytest.raises(KeyError, match="not in the coalition"):
+            mole.forward(packet)
+
+
+class TestUnprotectedAlter:
+    def test_corrupts_victim_mac_only(self, keystore, provider, marked):
+        mole = make_mole(
+            UnprotectedBitAlteringAttack(victim_index=1, also_mark=False),
+            keystore,
+            provider,
+        )
+        out = mole.forward(marked)
+        assert out.marks[0] == marked.marks[0]
+        assert out.marks[1].mac != marked.marks[1].mac
+        assert out.marks[2] == marked.marks[2]
+
+    def test_out_of_range_victim_noop(self, keystore, provider, packet):
+        mole = make_mole(
+            UnprotectedBitAlteringAttack(victim_index=5, also_mark=False),
+            keystore,
+            provider,
+        )
+        assert mole.forward(packet) == packet
+
+
+class TestComposite:
+    def test_sequences_attacks(self, keystore, provider, marked):
+        composite = CompositeAttack(
+            [MarkRemovalAttack(num_remove=1), MarkInsertionAttack(num_fake=1)]
+        )
+        mole = make_mole(composite, keystore, provider)
+        out = mole.forward(marked)
+        assert out.num_marks == 3  # 3 - 1 + 1
+
+    def test_drop_short_circuits(self, keystore, provider, marked):
+        composite = CompositeAttack(
+            [SelectiveDroppingAttack([1]), MarkInsertionAttack(num_fake=1)]
+        )
+        mole = make_mole(composite, keystore, provider)
+        assert mole.forward(marked) is None

@@ -1,0 +1,108 @@
+"""Mole behaviors and coalitions."""
+
+import random
+
+import pytest
+
+from repro.adversary.attacks import MarkInsertionAttack, NoMarkAttack
+from repro.adversary.coalition import Coalition
+from repro.adversary.moles import ForwardingMole, MoleReportSource, ReplayingSource
+from repro.marking.nested import NestedMarking
+from repro.sim.sources import BogusReportSource, HonestReportSource
+from tests.conftest import ctx_for
+
+
+class TestCoalition:
+    def test_members_and_keys(self):
+        c = Coalition({3: b"k3", 8: b"k8"})
+        assert c.mole_ids == {3, 8}
+        assert c.key_of(3) == b"k3"
+        assert 8 in c
+        assert len(c) == 2
+
+    def test_uncompromised_key_unavailable(self):
+        c = Coalition({3: b"k3"})
+        with pytest.raises(KeyError, match="uncompromised"):
+            c.key_of(4)
+
+    def test_needs_a_member(self):
+        with pytest.raises(ValueError):
+            Coalition({})
+
+
+class TestForwardingMole:
+    def test_counts_seen_and_dropped(self, keystore, provider, packet):
+        mole = ForwardingMole(
+            ctx=ctx_for(5, keystore, provider),
+            scheme=NestedMarking(),
+            attack=NoMarkAttack(),
+        )
+        mole.forward(packet)
+        assert mole.packets_seen == 1
+        assert mole.packets_dropped == 0
+
+    def test_default_coalition_is_self(self, keystore, provider):
+        mole = ForwardingMole(
+            ctx=ctx_for(5, keystore, provider),
+            scheme=NestedMarking(),
+            attack=NoMarkAttack(),
+        )
+        assert mole.coalition.mole_ids == {5}
+
+
+class TestSources:
+    def test_honest_source_reports_unique(self):
+        src = HonestReportSource(3, (1.0, 2.0), random.Random(0))
+        a, b = src.next_packet(1), src.next_packet(2)
+        assert a.report != b.report
+        assert a.origin == 3
+
+    def test_bogus_reports_all_distinct(self):
+        src = BogusReportSource(9, (5.0, 5.0), random.Random(0))
+        events = {src.next_packet(i).report.event for i in range(200)}
+        assert len(events) == 200  # duplicate suppression cannot catch them
+
+    def test_bogus_reports_conform_to_format(self):
+        from repro.packets.report import Report
+
+        src = BogusReportSource(9, (5.0, 5.0), random.Random(0))
+        p = src.next_packet(4)
+        assert Report.decode(p.report.encode()) == p.report
+
+    def test_bogus_source_validation(self):
+        with pytest.raises(ValueError, match="event_size"):
+            BogusReportSource(9, (0, 0), random.Random(0), event_size=4)
+
+
+class TestMoleReportSource:
+    def test_manipulates_own_packets(self, keystore, provider):
+        inner = BogusReportSource(5, (0.0, 0.0), random.Random(1))
+        shell = ForwardingMole(
+            ctx=ctx_for(5, keystore, provider),
+            scheme=NestedMarking(),
+            attack=MarkInsertionAttack(num_fake=2),
+        )
+        src = MoleReportSource(inner=inner, mole=shell)
+        assert src.next_packet(1).num_marks == 2
+
+    def test_node_id_mismatch_rejected(self, keystore, provider):
+        inner = BogusReportSource(5, (0.0, 0.0), random.Random(1))
+        shell = ForwardingMole(
+            ctx=ctx_for(6, keystore, provider),
+            scheme=NestedMarking(),
+            attack=NoMarkAttack(),
+        )
+        with pytest.raises(ValueError, match="differ"):
+            MoleReportSource(inner=inner, mole=shell)
+
+
+class TestReplayingSource:
+    def test_replays_from_capture(self, packet):
+        src = ReplayingSource(7, [packet], random.Random(0))
+        out = src.next_packet(999)
+        assert out == packet  # byte-identical, stale timestamp included
+        assert src.replays == 1
+
+    def test_requires_captures(self):
+        with pytest.raises(ValueError):
+            ReplayingSource(7, [], random.Random(0))

@@ -1,0 +1,171 @@
+"""Analytical models: closed forms vs Monte Carlo, cost model."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.collection import (
+    collection_probability,
+    expected_packets_all_marks,
+    packets_for_confidence,
+)
+from repro.analysis.cost import MICA2_PACKETS_PER_SECOND, SinkCostModel
+from repro.analysis.identification import (
+    expected_packets_to_identify,
+    identification_probability,
+)
+from repro.analysis.overhead import (
+    expected_marks_per_packet,
+    marking_overhead_bytes,
+    probability_for_target_marks,
+)
+from repro.packets.marks import MarkFormat
+
+
+class TestCollectionProbability:
+    def test_closed_form_value(self):
+        # (1 - (1-p)^L)^n, hand-checked.
+        assert collection_probability(2, 0.5, 2) == pytest.approx((0.75) ** 2)
+
+    def test_zero_packets(self):
+        assert collection_probability(10, 0.3, 0) == 0.0
+
+    def test_p_one_single_packet(self):
+        assert collection_probability(10, 1.0, 1) == 1.0
+
+    def test_monotone_in_packets(self):
+        values = [collection_probability(10, 0.3, x) for x in range(1, 60)]
+        assert values == sorted(values)
+
+    def test_paper_figure4_readings(self):
+        # 90% confidence: ~13 packets at n=10, ~33 at n=20, ~54 at n=30.
+        assert packets_for_confidence(10, 0.3, 0.9) == 13
+        assert packets_for_confidence(20, 0.15, 0.9) == 33
+        assert packets_for_confidence(30, 0.1, 0.9) == 54
+
+    def test_matches_monte_carlo(self):
+        n, p, L, runs = 6, 0.4, 10, 4000
+        rng = random.Random(1)
+        hits = sum(
+            all(any(rng.random() < p for _ in range(L)) for _ in range(n))
+            for _ in range(runs)
+        )
+        assert hits / runs == pytest.approx(
+            collection_probability(n, p, L), abs=0.03
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collection_probability(0, 0.5, 10)
+        with pytest.raises(ValueError):
+            collection_probability(5, 0.0, 10)
+        with pytest.raises(ValueError):
+            collection_probability(5, 0.5, -1)
+        with pytest.raises(ValueError):
+            packets_for_confidence(5, 0.5, 1.0)
+
+
+class TestExpectedCollection:
+    def test_single_node_geometric_mean(self):
+        assert expected_packets_all_marks(1, 0.25) == pytest.approx(4.0)
+
+    def test_p_one(self):
+        assert expected_packets_all_marks(7, 1.0) == 1.0
+
+    def test_inclusion_exclusion_vs_simulation(self):
+        n, p = 5, 0.3
+        rng = random.Random(2)
+        total = 0
+        runs = 3000
+        for _ in range(runs):
+            seen: set[int] = set()
+            t = 0
+            while len(seen) < n:
+                t += 1
+                seen.update(j for j in range(n) if rng.random() < p)
+            total += t
+        assert total / runs == pytest.approx(
+            expected_packets_all_marks(n, p), rel=0.05
+        )
+
+
+class TestIdentification:
+    def test_probability_monotone(self):
+        values = [identification_probability(10, 0.3, t) for t in range(0, 200, 10)]
+        assert values == sorted(values)
+
+    def test_harder_than_collection(self):
+        # Identification needs co-marking, so it always lags collection.
+        for t in (10, 30, 60):
+            assert identification_probability(20, 0.15, t) <= (
+                collection_probability(20, 0.15, t) + 1e-12
+            )
+
+    def test_expectation_matches_paper_shape(self):
+        # ~55 packets at n=20 and ~220 at n=40 (paper Figure 7).
+        assert 45 < expected_packets_to_identify(20, 3 / 20) < 75
+        assert 180 < expected_packets_to_identify(40, 3 / 40) < 260
+
+    def test_single_node_path(self):
+        # With n=1 the source is identified at V_1's first mark: mean 1/p.
+        assert expected_packets_to_identify(1, 0.25) == pytest.approx(4.0, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identification_probability(0, 0.5, 5)
+        with pytest.raises(ValueError):
+            expected_packets_to_identify(5, 1.5)
+
+
+class TestOverhead:
+    def test_expected_marks(self):
+        assert expected_marks_per_packet(20, 0.15) == pytest.approx(3.0)
+
+    def test_target_probability(self):
+        assert probability_for_target_marks(30, 3.0) == pytest.approx(0.1)
+        assert probability_for_target_marks(2, 3.0) == 1.0  # capped
+
+    def test_overhead_bytes(self):
+        fmt = MarkFormat(id_len=4, mac_len=4)
+        assert marking_overhead_bytes(20, 0.15, fmt) == pytest.approx(24.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_marks_per_packet(-1, 0.5)
+        with pytest.raises(ValueError):
+            probability_for_target_marks(0, 3.0)
+
+
+class TestSinkCostModel:
+    def test_paper_feasibility_claim(self):
+        # A few-thousand-node table costs milliseconds; hundreds of packets
+        # per second verified; far above the Mica2 radio rate.
+        model = SinkCostModel(network_size=3000)
+        assert model.table_build_seconds() < 0.01
+        assert model.packets_per_second() > 100
+        assert model.keeps_up_with_radio()
+
+    def test_bounded_search_is_cheaper(self):
+        model = SinkCostModel(network_size=5000)
+        assert model.hashes_per_packet(bounded=True) < model.hashes_per_packet()
+        assert model.packets_per_second(bounded=True) > model.packets_per_second()
+
+    def test_bounded_cost_independent_of_network_size(self):
+        small = SinkCostModel(network_size=100)
+        large = SinkCostModel(network_size=100_000)
+        assert small.hashes_per_packet(bounded=True) == large.hashes_per_packet(
+            bounded=True
+        )
+
+    def test_slow_sink_cannot_keep_up(self):
+        model = SinkCostModel(network_size=1_000_000, hash_rate=1e6)
+        assert not model.keeps_up_with_radio(incoming_rate=MICA2_PACKETS_PER_SECOND)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinkCostModel(network_size=0)
+        with pytest.raises(ValueError):
+            SinkCostModel(network_size=10, hash_rate=0)
+        with pytest.raises(ValueError):
+            SinkCostModel(network_size=10).keeps_up_with_radio(incoming_rate=0)

@@ -1,0 +1,69 @@
+"""The pnm-scenario command-line runner."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+class TestScenarioCli:
+    def test_caught_scenario_exits_zero(self, capsys):
+        code = main(
+            ["--scheme", "pnm", "--attack", "none", "-n", "8", "--packets", "150"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CAUGHT" in out
+        assert "moles implicated" in out
+
+    def test_framed_scenario_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "--scheme",
+                "naive-pnm",
+                "--attack",
+                "selective-drop",
+                "-n",
+                "10",
+                "--packets",
+                "250",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FRAMED" in out
+        assert "framed them" in out
+
+    def test_suppressed_counts_as_success(self, capsys):
+        code = main(
+            ["--scheme", "nested", "--attack", "selective-drop", "-n", "6",
+             "--packets", "30"]
+        )
+        assert code == 0
+        assert "SUPPRESSED" in capsys.readouterr().out
+
+    def test_verbose_prints_analysis(self, capsys):
+        main(["--scheme", "pnm", "-n", "6", "--packets", "120", "-v"])
+        out = capsys.readouterr().out
+        assert "observed markers" in out
+        assert "source candidates" in out
+
+    def test_loop_reported(self, capsys):
+        main(
+            ["--scheme", "pnm", "--attack", "identity-swap", "-n", "8",
+             "--packets", "300"]
+        )
+        assert "loop detected" in capsys.readouterr().out
+
+    def test_invalid_configuration_exits_two(self, capsys):
+        code = main(["--scheme", "pnm", "-n", "5", "--mole-position", "9"])
+        assert code == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scheme", "magic"])
+
+    def test_mark_prob_override(self, capsys):
+        main(["--scheme", "pnm", "-n", "10", "--mark-prob", "0.5",
+              "--packets", "80"])
+        assert "p=0.500" in capsys.readouterr().out

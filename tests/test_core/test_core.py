@@ -1,0 +1,123 @@
+"""Scenario validation, building, and experiment scoring."""
+
+import pytest
+
+from repro.core.build import build_scenario
+from repro.core.experiment import run_scenario
+from repro.core.scenario import ATTACK_NAMES, Scenario
+
+
+class TestScenarioValidation:
+    def test_defaults_resolve(self):
+        sc = Scenario(n_forwarders=20)
+        assert sc.resolved_mark_prob == pytest.approx(0.15)
+        assert sc.resolved_mole_position == 10
+
+    def test_short_path_caps_probability(self):
+        assert Scenario(n_forwarders=2).resolved_mark_prob == 1.0
+
+    def test_explicit_values_win(self):
+        sc = Scenario(n_forwarders=20, mark_prob=0.5, mole_position=3)
+        assert sc.resolved_mark_prob == 0.5
+        assert sc.resolved_mole_position == 3
+
+    def test_rejects_unknown_attack(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            Scenario(n_forwarders=5, attack="teleport")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Scenario(n_forwarders=0)
+        with pytest.raises(ValueError):
+            Scenario(n_forwarders=5, mole_position=6)
+        with pytest.raises(ValueError):
+            Scenario(n_forwarders=5, mark_prob=0.0)
+        with pytest.raises(ValueError):
+            Scenario(n_forwarders=5, crypto="quantum")
+
+    def test_fast_crypto_refused_for_attacks(self):
+        with pytest.raises(ValueError, match="tamper resistance"):
+            Scenario(n_forwarders=5, attack="alter", crypto="fast")
+
+    def test_fast_crypto_allowed_honest(self):
+        Scenario(n_forwarders=5, attack="none", crypto="fast")
+
+
+class TestBuildScenario:
+    def test_path_ids_are_positions(self):
+        built = build_scenario(Scenario(n_forwarders=8))
+        assert built.path == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert built.source_id == 9
+
+    def test_mole_ids_without_forwarding_attack(self):
+        built = build_scenario(Scenario(n_forwarders=8, attack="none"))
+        assert built.mole_ids == {9}
+
+    def test_mole_ids_with_forwarding_attack(self):
+        built = build_scenario(
+            Scenario(n_forwarders=8, attack="no-mark", mole_position=3)
+        )
+        assert built.mole_ids == {9, 3}
+
+    def test_every_attack_builds(self):
+        for attack in ATTACK_NAMES:
+            built = build_scenario(
+                Scenario(n_forwarders=6, attack=attack, seed=1)
+            )
+            assert built.pipeline is not None
+
+    def test_deterministic_given_seed(self):
+        sc = Scenario(n_forwarders=6, scheme="pnm", seed=5)
+        a = run_scenario(sc, num_packets=50)
+        b = run_scenario(sc, num_packets=50)
+        assert a.suspect_members == b.suspect_members
+        assert a.outcome == b.outcome
+
+    def test_seed_changes_runs(self):
+        a = build_scenario(Scenario(n_forwarders=6, scheme="pnm", seed=1))
+        b = build_scenario(Scenario(n_forwarders=6, scheme="pnm", seed=2))
+        a.pipeline.push()
+        b.pipeline.push()
+        # Different keys => different marks.
+        assert a.keystore[1] != b.keystore[1]
+
+
+class TestRunScenario:
+    def test_honest_pnm_catches_source(self):
+        result = run_scenario(
+            Scenario(n_forwarders=10, scheme="pnm", seed=3), num_packets=200
+        )
+        assert result.outcome == "caught"
+        assert result.suspect_center == 1
+        assert result.packets_delivered == 200
+
+    def test_outcome_partitions(self):
+        result = run_scenario(
+            Scenario(n_forwarders=10, scheme="pnm", seed=3), num_packets=200
+        )
+        assert result.caught and not result.framed
+        assert result.identified
+
+    def test_nested_single_packet(self):
+        result = run_scenario(
+            Scenario(n_forwarders=10, scheme="nested", seed=3), num_packets=1
+        )
+        assert result.single_packet_caught is True
+
+    def test_suppressed_outcome(self):
+        result = run_scenario(
+            Scenario(n_forwarders=6, scheme="nested", attack="selective-drop"),
+            num_packets=20,
+        )
+        assert result.outcome == "suppressed"
+        assert result.packets_delivered == 0
+
+    def test_rejects_zero_packets(self):
+        with pytest.raises(ValueError):
+            run_scenario(Scenario(n_forwarders=5), num_packets=0)
+
+    def test_observed_nodes_bounded_by_path(self):
+        result = run_scenario(
+            Scenario(n_forwarders=10, scheme="pnm", seed=4), num_packets=150
+        )
+        assert 1 <= result.observed_nodes <= 10

@@ -1,0 +1,65 @@
+"""The Section 8 approach comparison reproduces its claims."""
+
+import pytest
+
+from repro.experiments.approaches import run
+from repro.experiments.presets import CI
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = run(CI, packets=150)
+    return {(r[0], r[1]): dict(zip(result.columns, r)) for r in result.rows}
+
+
+class TestApproachOutcomes:
+    def test_pnm_caught_with_no_control_traffic(self, table):
+        row = table[("pnm", "selective-drop")]
+        assert row["outcome"] == "caught"
+        assert row["control_messages"] == 0
+        assert row["per_node_storage_bytes"] == 0
+        assert row["mark_bytes_per_packet"] > 0
+
+    def test_logging_costs_storage_and_messages(self, table):
+        row = table[("logging", "mole-denies")]
+        assert row["per_node_storage_bytes"] > 0
+        assert row["control_messages"] > 0
+        assert row["mark_bytes_per_packet"] == 0
+
+    def test_logging_trace_truncated_at_mole(self, table):
+        # The denying mole stops the trace at its downstream neighbor: the
+        # neighborhood contains the forwarding mole but the source mole
+        # escapes entirely.
+        row = table[("logging", "mole-denies")]
+        assert row["outcome"] == "caught"
+        assert row["traced_to"] == 7  # V7, one hop downstream of X=V6
+
+    def test_unauthenticated_notification_framed(self, table):
+        row = table[("notification", "itrace, mole-forges")]
+        assert row["outcome"] == "framed"
+        assert row["traced_to"] == 100  # the innocent off-path spur node
+
+    def test_edge_sampling_framed_by_slot_forgery(self, table):
+        row = table[("edge-sampling", "savage ppm, mole-forges")]
+        assert row["outcome"] == "framed"
+        assert row["traced_to"] == 100
+        # Cheap on the wire, catastrophically forgeable.
+        assert row["mark_bytes_per_packet"] == 5.0
+
+    def test_authenticated_notification_resists_forgery(self, table):
+        row = table[("notification", "authenticated, mole-silent")]
+        assert row["outcome"] == "caught"
+
+    def test_notification_costs_extra_messages(self, table):
+        for variant in ("itrace, mole-forges", "authenticated, mole-silent"):
+            assert table[("notification", variant)]["control_messages"] > 100
+
+    def test_only_pnm_is_message_free_and_uncompromised(self, table):
+        winners = [
+            key
+            for key, row in table.items()
+            if row["outcome"] == "caught"
+            and row["control_messages"] == 0
+            and row["per_node_storage_bytes"] == 0
+        ]
+        assert winners == [("pnm", "selective-drop")]

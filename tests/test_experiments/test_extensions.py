@@ -1,0 +1,135 @@
+"""Overhead table, filtering interplay, and ASCII plotting."""
+
+import pytest
+
+from repro.experiments import filtering_interplay, overhead_table
+from repro.experiments.plotting import ascii_chart, render_figure_chart
+from repro.experiments.presets import CI
+from repro.experiments.tables import FigureResult
+
+
+class TestOverheadTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        result = overhead_table.run(CI)
+        return {(r[0], r[1]): dict(zip(result.columns, r)) for r in result.rows}
+
+    def test_nested_marks_equal_path_length(self, table):
+        for n in (10, 20, 30):
+            assert table[("nested", n)]["avg_marks_delivered"] == n
+
+    def test_pnm_marks_constant_around_three(self, table):
+        for n in (10, 20, 30):
+            assert 2.0 <= table[("pnm", n)]["avg_marks_delivered"] <= 4.0
+
+    def test_pnm_packet_size_flat_nested_grows(self, table):
+        nested = [table[("nested", n)]["avg_packet_bytes_delivered"] for n in (10, 20, 30)]
+        pnm = [table[("pnm", n)]["avg_packet_bytes_delivered"] for n in (10, 20, 30)]
+        assert nested[2] > nested[1] > nested[0]
+        assert max(pnm) - min(pnm) < 10  # essentially flat
+
+    def test_tradeoff_direction(self, table):
+        # Nested pays bytes for single-packet traceback; PNM pays packets.
+        assert table[("nested", 30)]["packets_to_identify"] == 1
+        assert table[("pnm", 30)]["packets_to_identify"] > 50
+        assert (
+            table[("pnm", 30)]["energy_mJ_per_packet"]
+            < table[("nested", 30)]["energy_mJ_per_packet"]
+        )
+
+
+class TestFilteringInterplay:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return filtering_interplay.run(CI)
+
+    def test_injections_grow_with_filtering(self, result):
+        injections = result.column("injections_to_identify")
+        assert injections == sorted(injections)
+
+    def test_damage_shrinks_with_filtering(self, result):
+        damage = result.column("relative_attack_bytes")
+        assert damage == sorted(damage, reverse=True)
+
+    def test_no_filtering_baseline(self, result):
+        row0 = result.as_dicts()[0]
+        assert row0["per_hop_drop_prob"] == 0.0
+        assert row0["delivery_rate"] == 1.0
+        assert row0["injections_to_identify"] == row0["delivered_to_identify"]
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=6)
+        assert "*" in out
+        assert "a" in out.splitlines()[-1]  # legend
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_chart(
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            width=20,
+            height=6,
+        )
+        assert "*" in out and "o" in out
+
+    def test_nan_points_skipped(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, float("nan"), 3.0]}, width=20, height=6)
+        assert out  # renders without error
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, width=2, height=2)
+
+    def test_constant_series_renders(self):
+        out = ascii_chart([1, 2], {"flat": [5.0, 5.0]}, width=20, height=6)
+        assert "*" in out
+
+    def test_render_figure_chart(self):
+        fr = FigureResult(
+            figure_id="demo",
+            title="demo",
+            columns=["x", "numeric", "label"],
+            rows=[[1, 2.0, "a"], [2, 4.0, "b"]],
+        )
+        out = render_figure_chart(fr, width=20, height=6)
+        assert "demo" in out
+
+    def test_render_figure_chart_requires_numeric(self):
+        fr = FigureResult(
+            figure_id="demo",
+            title="demo",
+            columns=["x", "label"],
+            rows=[[1, "a"], [2, "b"]],
+        )
+        with pytest.raises(ValueError, match="numeric"):
+            render_figure_chart(fr)
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig4", "--preset", "ci", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "P_all_n10" in out
+        assert "*" in out  # chart glyphs present
+
+
+class TestCliOutputFlag:
+    def test_output_appends_rendered_tables(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(["fig4", "--preset", "ci", "--output", str(target)]) == 0
+        capsys.readouterr()
+        content = target.read_text()
+        assert "fig4" in content
+        assert "P_all_n10" in content
+        # Appending: a second run doubles the section.
+        assert main(["fig4", "--preset", "ci", "--output", str(target)]) == 0
+        assert target.read_text().count("== fig4") == 2

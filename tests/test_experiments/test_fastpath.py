@@ -1,0 +1,170 @@
+"""The vectorized Monte Carlo engine, validated against the object pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.collection import collection_probability
+from repro.analysis.identification import expected_packets_to_identify
+from repro.experiments.fastpath import (
+    collection_curve,
+    failure_counts,
+    identification_times,
+    simulate_first_times,
+)
+
+
+class TestSimulateFirstTimes:
+    def test_shapes_and_ranges(self):
+        ft = simulate_first_times(n=5, p=0.4, packets=50, runs=20, seed=1)
+        assert ft.first_obs.shape == (20, 5)
+        assert ft.first_inc.shape == (20, 5)
+        assert ft.first_obs.max() < 50
+        assert ft.first_obs.min() >= -1
+
+    def test_v1_never_has_incoming(self):
+        ft = simulate_first_times(n=5, p=0.9, packets=50, runs=30, seed=2)
+        assert (ft.first_inc[:, 0] == -1).all()
+
+    def test_incoming_not_before_observation(self):
+        ft = simulate_first_times(n=6, p=0.3, packets=100, runs=50, seed=3)
+        obs, inc = ft.first_obs[:, 1:], ft.first_inc[:, 1:]
+        both = (obs >= 0) & (inc >= 0)
+        assert (inc[both] >= obs[both]).all()
+
+    def test_p_one_everything_immediate(self):
+        ft = simulate_first_times(n=4, p=1.0, packets=5, runs=10, seed=4)
+        assert (ft.first_obs == 0).all()
+        assert (ft.first_inc[:, 1:] == 0).all()
+
+    def test_deterministic_per_seed(self):
+        a = simulate_first_times(n=5, p=0.3, packets=40, runs=15, seed=9)
+        b = simulate_first_times(n=5, p=0.3, packets=40, runs=15, seed=9)
+        assert (a.first_obs == b.first_obs).all()
+
+    def test_chunking_preserves_statistics(self):
+        big = simulate_first_times(n=5, p=0.3, packets=60, runs=400, seed=5, chunk=1000)
+        small = simulate_first_times(n=5, p=0.3, packets=60, runs=400, seed=5, chunk=32)
+        # Different chunking = different RNG stream consumption, but the
+        # distributions must agree.
+        assert np.nanmean(identification_times(big)) == pytest.approx(
+            np.nanmean(identification_times(small)), rel=0.15
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_first_times(n=0, p=0.5, packets=10, runs=5)
+        with pytest.raises(ValueError):
+            simulate_first_times(n=5, p=0.0, packets=10, runs=5)
+        with pytest.raises(ValueError):
+            simulate_first_times(n=5, p=0.5, packets=0, runs=5)
+
+
+class TestIdentificationTimes:
+    def test_matches_analytic_expectation(self):
+        ft = simulate_first_times(n=10, p=0.3, packets=400, runs=2000, seed=6)
+        times = identification_times(ft)
+        mean = float(np.nanmean(times))
+        assert mean == pytest.approx(expected_packets_to_identify(10, 0.3), rel=0.1)
+
+    def test_failures_are_nan(self):
+        # Tiny budget: most runs cannot finish.
+        ft = simulate_first_times(n=20, p=0.15, packets=5, runs=50, seed=7)
+        times = identification_times(ft)
+        assert np.isnan(times).sum() > 0
+
+    def test_times_within_budget(self):
+        ft = simulate_first_times(n=8, p=0.4, packets=200, runs=100, seed=8)
+        times = identification_times(ft)
+        ok = times[~np.isnan(times)]
+        assert (ok >= 1).all() and (ok <= 200).all()
+
+
+class TestFailureCounts:
+    def test_monotone_in_budget(self):
+        ft = simulate_first_times(n=30, p=0.1, packets=800, runs=200, seed=9)
+        counts = failure_counts(ft, [100, 200, 400, 800])
+        values = [counts[b] for b in (100, 200, 400, 800)]
+        assert values == sorted(values, reverse=True)
+
+    def test_budget_validation(self):
+        ft = simulate_first_times(n=5, p=0.3, packets=50, runs=10, seed=0)
+        with pytest.raises(ValueError):
+            failure_counts(ft, [100])
+        with pytest.raises(ValueError):
+            failure_counts(ft, [0])
+
+    def test_consistent_with_identification_times(self):
+        ft = simulate_first_times(n=15, p=0.2, packets=300, runs=300, seed=11)
+        times = identification_times(ft)
+        at_budget = failure_counts(ft, [300])[300]
+        assert at_budget == int(np.isnan(times).sum())
+
+
+class TestCollectionCurve:
+    def test_matches_closed_form(self):
+        n, p = 10, 0.3
+        curve = collection_curve(n, p, packets=40, runs=3000, seed=12)
+        # E[fraction collected by t] = 1 - (1-p)^t per node.
+        for t in (1, 5, 13, 40):
+            expected = 1.0 - (1.0 - p) ** t
+            assert curve[t - 1] == pytest.approx(expected, abs=0.02)
+
+    def test_monotone(self):
+        curve = collection_curve(8, 0.2, packets=50, runs=200, seed=13)
+        assert (np.diff(curve) >= -1e-12).all()
+
+    def test_consistency_with_collection_probability(self):
+        # P(all collected by t) <= E[fraction by t] always.
+        n, p = 10, 0.3
+        curve = collection_curve(n, p, packets=30, runs=2000, seed=14)
+        for t in (5, 15, 30):
+            assert collection_probability(n, p, t) <= curve[t - 1] + 0.02
+
+
+class TestAgreementWithObjectPipeline:
+    """The fastpath must be statistically identical to the real stack."""
+
+    def _object_level_identification_times(self, n, p, packets, runs):
+        import random as _random
+
+        from repro.core.build import build_scenario
+        from repro.core.scenario import Scenario
+
+        times = []
+        for run in range(runs):
+            sc = Scenario(
+                n_forwarders=n,
+                scheme="pnm",
+                mark_prob=p,
+                attack="none",
+                seed=run,
+                crypto="fast",
+            )
+            built = build_scenario(sc)
+            identified_at = None
+            for t in range(1, packets + 1):
+                built.pipeline.push()
+                analysis = built.sink.route_analysis()
+                good = analysis.unequivocal and analysis.most_upstream == 1
+                if good and identified_at is None:
+                    identified_at = t  # start of (potentially) final streak
+                elif not good:
+                    identified_at = None  # streak broken
+            # identified_at is now the first packet of the condition's
+            # final unbroken streak: the stabilization time.
+            times.append(identified_at)
+        return times
+
+    def test_mean_identification_time_agrees(self):
+        n, p, packets = 6, 0.5, 120
+        obj = self._object_level_identification_times(n, p, packets, runs=60)
+        obj_clean = [t for t in obj if t is not None]
+        assert len(obj_clean) >= 55  # nearly all runs identify
+
+        ft = simulate_first_times(n, p, packets, runs=4000, seed=99)
+        fast = identification_times(ft)
+        fast_mean = float(np.nanmean(fast))
+        obj_mean = float(np.mean(obj_clean))
+        # Object-level "stabilization" time: last packet at which the
+        # condition flipped to true.  Same criterion as the fastpath.
+        assert obj_mean == pytest.approx(fast_mean, rel=0.25)

@@ -1,0 +1,112 @@
+"""Figure harnesses reproduce the paper's reported shapes."""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7
+from repro.experiments.presets import CI
+
+
+class TestFig4:
+    def test_columns_and_extent(self):
+        result = fig4.run(CI)
+        assert result.columns == ["packets", "P_all_n10", "P_all_n20", "P_all_n30"]
+        assert result.rows[0][0] == 1
+        assert result.rows[-1][0] == 80
+
+    def test_paper_readings_in_notes(self):
+        result = fig4.run(CI)
+        notes = " ".join(result.notes)
+        assert "n=10: 90% confidence at 13 packets" in notes
+        assert "n=20: 90% confidence at 33 packets" in notes
+        assert "n=30: 90% confidence at 54 packets" in notes
+
+    def test_longer_paths_are_slower(self):
+        result = fig4.run(CI)
+        row20 = next(r for r in result.rows if r[0] == 20)
+        assert row20[1] > row20[2] > row20[3]
+
+    def test_probabilities_valid_and_monotone(self):
+        result = fig4.run(CI)
+        for col in (1, 2, 3):
+            series = [r[col] for r in result.rows]
+            assert all(0.0 <= v <= 1.0 for v in series)
+            assert series == sorted(series)
+
+
+class TestFig5:
+    def test_shape(self):
+        result = fig5.run(CI)
+        assert result.columns[0] == "packets"
+        pct10 = result.column("pct_collected_n10")
+        assert all(0.0 <= v <= 100.0 for v in pct10)
+
+    def test_paper_reading_n10(self):
+        # ~9 of 10 nodes collected within 7 packets.
+        result = fig5.run(CI)
+        row7 = next(r for r in result.rows if r[0] == 7)
+        assert row7[1] == pytest.approx(90.0, abs=6.0)
+
+    def test_longer_paths_collect_slower(self):
+        result = fig5.run(CI)
+        row10 = next(r for r in result.rows if r[0] == 10)
+        assert row10[1] > row10[2] > row10[3]
+
+
+class TestFig6:
+    def test_shape_and_monotonicity(self):
+        result = fig6.run(CI)
+        assert result.columns[0] == "path_length"
+        for row in result.rows:
+            budget_series = row[1:]
+            # More packets -> no more failures.
+            assert budget_series == sorted(budget_series, reverse=True)
+
+    def test_paper_claims(self):
+        result = fig6.run(CI)
+        rows = {r[0]: r for r in result.rows}
+        # 200 packets suffice up to 20 hops (nearly all runs).
+        assert rows[20][1] <= 5.0
+        # 400 packets suffice up to 30 hops.
+        assert rows[30][2] <= 5.0
+        # 800 packets keep 50-hop failures moderate (paper: <~5 of 100).
+        assert rows[50][4] <= 15.0
+
+    def test_failures_increase_with_path_length(self):
+        result = fig6.run(CI)
+        at200 = result.column("failures_per100_b200")
+        assert at200[0] <= at200[-1]
+
+
+class TestFig7:
+    def test_shape(self):
+        result = fig7.run(CI)
+        lengths = result.column("path_length")
+        averages = result.column("avg_packets_to_identify")
+        assert lengths == sorted(lengths)
+        # Identification cost grows with path length.
+        assert averages[0] < averages[-1]
+
+    def test_headline_claims(self):
+        result = fig7.run(CI)
+        rows = {r[0]: r for r in result.rows}
+        # ~50-60 packets at 20 hops (paper: ~55; abstract: ~50).
+        assert 35 <= rows[20][1] <= 85
+        # ~220 packets at 40 hops.
+        assert 170 <= rows[40][1] <= 280
+
+    def test_simulation_tracks_analysis(self):
+        result = fig7.run(CI)
+        for row in result.rows:
+            n, avg, _ci, analytic, success = row
+            if success > 0.9 and n <= 30:
+                assert avg == pytest.approx(analytic, rel=0.3)
+
+    def test_confidence_intervals_present(self):
+        result = fig7.run(CI)
+        for half in result.column("ci95_half_width"):
+            assert half >= 0
+
+    def test_success_rates_bounded(self):
+        result = fig7.run(CI)
+        for rate in result.column("success_rate"):
+            assert 0.0 <= rate <= 1.0

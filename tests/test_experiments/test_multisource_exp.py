@@ -1,0 +1,27 @@
+"""The multi-source sweep experiment."""
+
+import pytest
+
+from repro.experiments.multisource_exp import run
+from repro.experiments.presets import CI
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(CI)
+
+
+class TestMultiSourceExperiment:
+    def test_all_source_counts_succeed(self, result):
+        assert all(result.column("all_sources_caught"))
+
+    def test_no_innocent_confirmations(self, result):
+        assert set(result.column("innocent_confirmations")) == {0}
+
+    def test_confirmation_within_budget(self, result):
+        for value in result.column("packets_per_source_to_confirm"):
+            assert value != "never"
+            assert value <= 200
+
+    def test_source_counts_swept(self, result):
+        assert result.column("num_sources") == [1, 2, 3, 5]

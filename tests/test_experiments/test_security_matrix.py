@@ -1,0 +1,86 @@
+"""The security matrix reproduces the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments.presets import CI
+from repro.experiments.security_matrix import (
+    ATTACKS,
+    EXPECTED_DEFEATS,
+    EXPECTED_SUPPRESSED,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    result = run(CI)
+    return {row[0]: dict(zip(result.columns[1:], row[1:])) for row in result.rows}
+
+
+class TestSecureSchemes:
+    """Theorems 2 and 4: nested marking and PNM are never framed."""
+
+    @pytest.mark.parametrize("scheme", ["nested", "pnm"])
+    def test_never_framed(self, matrix, scheme):
+        for attack, outcome in matrix[scheme].items():
+            assert outcome != "framed", f"{scheme} framed by {attack}"
+
+    @pytest.mark.parametrize("scheme", ["nested", "pnm"])
+    def test_caught_or_suppressed_everywhere(self, matrix, scheme):
+        suppressed_ok = EXPECTED_SUPPRESSED.get(scheme, set())
+        for attack, outcome in matrix[scheme].items():
+            if attack in suppressed_ok:
+                assert outcome in ("caught", "suppressed")
+            else:
+                assert outcome == "caught", f"{scheme} vs {attack}: {outcome}"
+
+    def test_pnm_immune_to_selective_drop(self, matrix):
+        assert matrix["pnm"]["selective-drop"] == "caught"
+
+    def test_pnm_handles_identity_swapping(self, matrix):
+        assert matrix["pnm"]["identity-swap"] == "caught"
+
+
+class TestDocumentedDefeats:
+    """Sections 3, 4.2 and Theorem 3: the baselines fail where documented."""
+
+    @pytest.mark.parametrize(
+        "scheme,attack",
+        [
+            (scheme, attack)
+            for scheme, attacks in EXPECTED_DEFEATS.items()
+            for attack in attacks
+        ],
+    )
+    def test_expected_defeat_observed(self, matrix, scheme, attack):
+        assert matrix[scheme][attack] == "framed", (
+            f"{scheme} was expected to be framed by {attack}, "
+            f"got {matrix[scheme][attack]}"
+        )
+
+    def test_naive_pnm_selective_drop_is_the_papers_example(self, matrix):
+        # Section 4.2's incorrect extension fails exactly as described.
+        assert matrix["naive-pnm"]["selective-drop"] == "framed"
+
+    def test_partial_nested_demonstrates_theorem3(self, matrix):
+        assert matrix["partial-nested"]["unprotected-alter"] == "framed"
+        assert matrix["nested"]["unprotected-alter"] == "caught"
+
+
+class TestMatrixCompleteness:
+    def test_all_attacks_covered(self, matrix):
+        for scheme, row in matrix.items():
+            assert set(row) == set(ATTACKS)
+
+    def test_outcomes_are_known_labels(self, matrix):
+        labels = {"caught", "framed", "unidentified", "suppressed"}
+        for row in matrix.values():
+            assert set(row.values()) <= labels
+
+    def test_honest_control_is_always_caught(self, matrix):
+        # A mole that behaves honestly provides no cover: the source is
+        # traced normally under every marking scheme that marks at all.
+        for scheme, row in matrix.items():
+            if scheme == "none":
+                continue
+            assert row["honest-mole"] == "caught"

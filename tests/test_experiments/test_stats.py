@@ -1,0 +1,88 @@
+"""Interval estimators."""
+
+import random
+
+import pytest
+
+from repro.experiments.stats import Interval, mean_interval, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        iv = wilson_interval(10, 100)
+        assert iv.low <= iv.estimate <= iv.high
+        assert iv.estimate == pytest.approx(0.1)
+
+    def test_well_behaved_at_zero(self):
+        iv = wilson_interval(0, 100)
+        assert iv.low == 0.0
+        assert iv.high > 0.0  # zero observed failures != zero failure rate
+
+    def test_well_behaved_at_all(self):
+        iv = wilson_interval(100, 100)
+        assert iv.high == pytest.approx(1.0)
+        assert iv.low < 1.0  # all successes != certainty
+
+    def test_narrows_with_more_trials(self):
+        small = wilson_interval(10, 100)
+        large = wilson_interval(100, 1000)
+        assert large.half_width < small.half_width
+
+    def test_wider_at_higher_confidence(self):
+        assert (
+            wilson_interval(10, 100, 0.99).half_width
+            > wilson_interval(10, 100, 0.90).half_width
+        )
+
+    def test_coverage_simulation(self):
+        # The 95% interval should contain the true p in ~95% of repeats.
+        rng = random.Random(5)
+        true_p = 0.3
+        covered = 0
+        repeats = 400
+        for _ in range(repeats):
+            hits = sum(rng.random() < true_p for _ in range(80))
+            if true_p in wilson_interval(hits, 80):
+                covered += 1
+        assert covered / repeats > 0.90
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.8)
+
+
+class TestMeanInterval:
+    def test_point_estimate(self):
+        iv = mean_interval([1.0, 2.0, 3.0])
+        assert iv.estimate == pytest.approx(2.0)
+        assert iv.low < 2.0 < iv.high
+
+    def test_single_value_degenerates(self):
+        iv = mean_interval([5.0])
+        assert iv.low == iv.high == 5.0
+
+    def test_narrows_with_samples(self):
+        rng = random.Random(1)
+        small = mean_interval([rng.gauss(10, 2) for _ in range(20)])
+        large = mean_interval([rng.gauss(10, 2) for _ in range(2000)])
+        assert large.half_width < small.half_width
+
+    def test_zero_variance(self):
+        iv = mean_interval([4.0] * 10)
+        assert iv.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_interval([])
+
+    def test_str_and_contains(self):
+        iv = Interval(estimate=1.0, low=0.5, high=1.5, confidence=0.95)
+        assert 1.2 in iv
+        assert 2.0 not in iv
+        assert "[" in str(iv)

@@ -1,0 +1,117 @@
+"""Baseline schemes: PPM, extended AMS, partially nested (Theorem 3)."""
+
+import pytest
+
+from repro.marking.ams import ExtendedAMS
+from repro.marking.plain import PPMMarking
+from repro.marking.weakened import PartiallyNestedMarking
+from repro.packets.marks import Mark
+from tests.conftest import ctx_for, mark_through_path
+
+
+class TestPPM:
+    def test_any_wellformed_mark_accepted(self, keystore, provider, packet):
+        # The defining weakness: no authentication at all.
+        scheme = PPMMarking(mark_prob=1.0)
+        forged = packet.with_mark(Mark(id_field=b"\x00\x02", mac=b""))
+        assert scheme.verify_mark_as(forged, 0, 2, keystore[2], provider)
+
+    def test_unknown_id_not_a_candidate(self, keystore, provider, packet):
+        scheme = PPMMarking(mark_prob=1.0)
+        forged = packet.with_mark(Mark(id_field=b"\xff\xff", mac=b""))
+        assert scheme.candidate_marker_ids(forged, 0, keystore, provider) == []
+
+    def test_zero_mac_overhead(self):
+        assert PPMMarking().fmt.mac_len == 0
+
+    def test_independent_policy(self):
+        assert PPMMarking().verification_policy == "independent"
+
+
+class TestExtendedAMS:
+    def test_mark_verifies_independently_of_other_marks(
+        self, keystore, provider, packet
+    ):
+        # The Section 3 failure root cause: V2's mark stays valid after
+        # V1's mark is removed.
+        scheme = ExtendedAMS(mark_prob=1.0)
+        marked = mark_through_path(scheme, keystore, provider, [1, 2, 3], packet)
+        stripped = marked.with_marks(marked.marks[1:])
+        assert scheme.verify_mark_as(stripped, 0, 2, keystore[2], provider)
+        assert scheme.verify_mark_as(stripped, 1, 3, keystore[3], provider)
+
+    def test_reordered_marks_still_verify(self, keystore, provider, packet):
+        scheme = ExtendedAMS(mark_prob=1.0)
+        marked = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+        swapped = marked.with_marks((marked.marks[1], marked.marks[0]))
+        assert scheme.verify_mark_as(swapped, 0, 2, keystore[2], provider)
+        assert scheme.verify_mark_as(swapped, 1, 1, keystore[1], provider)
+
+    def test_mark_bound_to_report_and_id(self, keystore, provider, packet):
+        scheme = ExtendedAMS(mark_prob=1.0)
+        marked = mark_through_path(scheme, keystore, provider, [4], packet)
+        assert not scheme.verify_mark_as(marked, 0, 4, keystore[5], provider)
+        mangled_id = marked.with_marks(
+            (Mark(id_field=b"\x00\x05", mac=marked.marks[0].mac),)
+        )
+        assert not scheme.verify_mark_as(mangled_id, 0, 5, keystore[5], provider)
+
+    def test_forgery_without_key_fails(self, keystore, provider, packet):
+        scheme = ExtendedAMS(mark_prob=1.0)
+        mole = ctx_for(9, keystore, provider)
+        fake = scheme.make_mark(mole, packet, claimed_id=2)
+        assert not scheme.verify_mark_as(
+            packet.with_mark(fake), 0, 2, keystore[2], provider
+        )
+
+
+class TestPartiallyNested(object):
+    """Theorem 3's counterexample scheme."""
+
+    def test_honest_path_verifies(self, keystore, provider, packet):
+        scheme = PartiallyNestedMarking()
+        marked = mark_through_path(scheme, keystore, provider, [1, 2, 3], packet)
+        for idx, node in enumerate([1, 2, 3]):
+            assert scheme.verify_mark_as(marked, idx, node, keystore[node], provider)
+
+    def test_previous_ids_are_protected(self, keystore, provider, packet):
+        scheme = PartiallyNestedMarking()
+        marked = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+        marks = list(marked.marks)
+        marks[0] = Mark(id_field=b"\x00\x09", mac=marks[0].mac)
+        tampered = marked.with_marks(tuple(marks))
+        # Changing V1's ID invalidates V2's MAC (IDs are covered) ...
+        assert not scheme.verify_mark_as(tampered, 1, 2, keystore[2], provider)
+
+    def test_previous_macs_are_not_protected(self, keystore, provider, packet):
+        # ... but corrupting V1's MAC bytes leaves V2's MAC valid: the
+        # unprotected field Theorem 3 exploits.
+        scheme = PartiallyNestedMarking()
+        marked = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+        marks = list(marked.marks)
+        marks[0] = Mark(
+            id_field=marks[0].id_field,
+            mac=bytes([marks[0].mac[0] ^ 0xFF]) + marks[0].mac[1:],
+        )
+        tampered = marked.with_marks(tuple(marks))
+        assert not scheme.verify_mark_as(tampered, 0, 1, keystore[1], provider)
+        assert scheme.verify_mark_as(tampered, 1, 2, keystore[2], provider)
+
+    def test_fewer_protected_fields_than_nested(self, keystore, provider, packet):
+        from repro.marking.nested import NestedMarking
+
+        nested = NestedMarking()
+        partial = PartiallyNestedMarking()
+        # Same manipulation; nested detects it downstream, partial does not.
+        for scheme, downstream_valid in ((nested, False), (partial, True)):
+            marked = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+            marks = list(marked.marks)
+            marks[0] = Mark(
+                id_field=marks[0].id_field,
+                mac=bytes([marks[0].mac[0] ^ 0xFF]) + marks[0].mac[1:],
+            )
+            tampered = marked.with_marks(tuple(marks))
+            assert (
+                scheme.verify_mark_as(tampered, 1, 2, keystore[2], provider)
+                is downstream_valid
+            )

@@ -1,0 +1,138 @@
+"""Nested marking: the binding that makes manipulation detectable."""
+
+import pytest
+
+from repro.marking.nested import NaiveProbabilisticNested, NestedMarking
+from repro.packets.marks import Mark
+from tests.conftest import ctx_for, mark_through_path
+
+
+@pytest.fixture
+def scheme():
+    return NestedMarking()
+
+
+class TestNestedBinding:
+    """Any tampering with earlier marks invalidates later MACs."""
+
+    def path_packet(self, scheme, keystore, provider, packet):
+        return mark_through_path(scheme, keystore, provider, [1, 2, 3, 4], packet)
+
+    def test_altering_upstream_mac_invalidates_downstream(
+        self, scheme, keystore, provider, packet
+    ):
+        marked = self.path_packet(scheme, keystore, provider, packet)
+        marks = list(marked.marks)
+        corrupted = Mark(
+            id_field=marks[0].id_field,
+            mac=bytes([marks[0].mac[0] ^ 1]) + marks[0].mac[1:],
+        )
+        marks[0] = corrupted
+        tampered = marked.with_marks(tuple(marks))
+        # Mark 0 itself and every later mark must now fail.
+        for idx, node in enumerate([1, 2, 3, 4]):
+            assert not scheme.verify_mark_as(
+                tampered, idx, node, keystore[node], provider
+            )
+
+    def test_altering_upstream_id_invalidates_downstream(
+        self, scheme, keystore, provider, packet
+    ):
+        marked = self.path_packet(scheme, keystore, provider, packet)
+        marks = list(marked.marks)
+        marks[0] = Mark(id_field=b"\x00\x09", mac=marks[0].mac)
+        tampered = marked.with_marks(tuple(marks))
+        for idx, node in enumerate([9, 2, 3, 4]):
+            assert not scheme.verify_mark_as(
+                tampered, idx, node, keystore[node], provider
+            )
+
+    def test_removal_invalidates_downstream(self, scheme, keystore, provider, packet):
+        marked = self.path_packet(scheme, keystore, provider, packet)
+        tampered = marked.with_marks(marked.marks[1:])  # drop V1's mark
+        for idx, node in enumerate([2, 3, 4]):
+            assert not scheme.verify_mark_as(
+                tampered, idx, node, keystore[node], provider
+            )
+
+    def test_reordering_invalidates(self, scheme, keystore, provider, packet):
+        marked = self.path_packet(scheme, keystore, provider, packet)
+        swapped = list(marked.marks)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        tampered = marked.with_marks(tuple(swapped))
+        assert not scheme.verify_mark_as(tampered, 0, 2, keystore[2], provider)
+        assert not scheme.verify_mark_as(tampered, 1, 1, keystore[1], provider)
+        # Downstream marks covered the original order: also invalid.
+        assert not scheme.verify_mark_as(tampered, 2, 3, keystore[3], provider)
+
+    def test_marks_after_tamper_point_verify(
+        self, scheme, keystore, provider, packet
+    ):
+        # A mole altering mark 0 cannot invalidate marks added AFTER the
+        # alteration: nodes 3 and 4 saw (and covered) the altered bytes.
+        p = mark_through_path(scheme, keystore, provider, [1, 2], packet)
+        marks = list(p.marks)
+        marks[0] = Mark(
+            id_field=marks[0].id_field,
+            mac=bytes([marks[0].mac[0] ^ 0xFF]) + marks[0].mac[1:],
+        )
+        p = p.with_marks(tuple(marks))
+        p = mark_through_path(scheme, keystore, provider, [3, 4], p)
+        assert scheme.verify_mark_as(p, 2, 3, keystore[3], provider)
+        assert scheme.verify_mark_as(p, 3, 4, keystore[4], provider)
+        assert not scheme.verify_mark_as(p, 0, 1, keystore[1], provider)
+
+    def test_mark_bound_to_report(self, scheme, keystore, provider, packet):
+        # Splicing a valid mark onto a different report must fail.
+        from repro.packets.packet import MarkedPacket
+        from repro.packets.report import Report
+
+        marked = mark_through_path(scheme, keystore, provider, [1], packet)
+        other = MarkedPacket(
+            report=Report(event=b"other", location=(0, 0), timestamp=1)
+        ).with_mark(marked.marks[0])
+        assert not scheme.verify_mark_as(other, 0, 1, keystore[1], provider)
+
+    def test_claimed_id_mark_is_invalid(self, scheme, keystore, provider, packet):
+        # A mole marking with its own key but claiming another ID produces
+        # a mark that fails verification under the claimed ID.
+        mole = ctx_for(5, keystore, provider)
+        fake = scheme.make_mark(mole, packet, claimed_id=2)
+        forged = packet.with_mark(fake)
+        assert not scheme.verify_mark_as(forged, 0, 2, keystore[2], provider)
+
+    def test_identity_swap_mark_is_valid(self, scheme, keystore, provider, packet):
+        # With the partner's KEY and ID, the mark genuinely verifies -- the
+        # basis of the identity swapping attack.
+        partner_ctx = ctx_for(7, keystore, provider)
+        mark = scheme.make_mark(partner_ctx, packet)
+        swapped = packet.with_mark(mark)
+        assert scheme.verify_mark_as(swapped, 0, 7, keystore[7], provider)
+
+
+class TestDeterministicProperty:
+    def test_always_marks(self, scheme, keystore, provider, packet):
+        out = mark_through_path(scheme, keystore, provider, list(range(1, 11)), packet)
+        assert out.num_marks == 10
+
+    def test_prob_fixed_at_one(self, scheme):
+        assert scheme.mark_prob == 1.0
+
+
+class TestNaiveProbabilistic:
+    def test_same_wire_semantics_as_nested(self, keystore, provider, packet):
+        naive = NaiveProbabilisticNested(mark_prob=1.0)
+        nested = NestedMarking()
+        a = mark_through_path(naive, keystore, provider, [1, 2], packet, seed=3)
+        b = mark_through_path(nested, keystore, provider, [1, 2], packet, seed=3)
+        assert a.marks == b.marks
+
+    def test_probabilistic(self, keystore, provider, packet):
+        naive = NaiveProbabilisticNested(mark_prob=0.3)
+        ctx = ctx_for(1, keystore, provider)
+        count = sum(naive.on_forward(ctx, packet).num_marks for _ in range(3000))
+        assert 800 < count < 1000
+
+    def test_rejects_bad_prob(self):
+        with pytest.raises(ValueError):
+            NaiveProbabilisticNested(mark_prob=1.5)

@@ -1,0 +1,107 @@
+"""Behavior common to all marking schemes."""
+
+import pytest
+
+from repro.marking import SCHEME_CLASSES, MarkingScheme, scheme_by_name
+from tests.conftest import ctx_for, mark_through_path
+
+
+def all_schemes() -> list[MarkingScheme]:
+    return [
+        scheme_by_name("none"),
+        scheme_by_name("ppm", mark_prob=1.0),
+        scheme_by_name("ams", mark_prob=1.0),
+        scheme_by_name("nested"),
+        scheme_by_name("partial-nested"),
+        scheme_by_name("naive-pnm", mark_prob=1.0),
+        scheme_by_name("pnm", mark_prob=1.0),
+    ]
+
+
+MARKING_SCHEMES = [s for s in all_schemes() if s.name != "none"]
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        assert set(SCHEME_CLASSES) == {
+            "none",
+            "ppm",
+            "ams",
+            "nested",
+            "partial-nested",
+            "naive-pnm",
+            "pnm",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            scheme_by_name("quantum")
+
+    def test_kwargs_forwarded(self):
+        scheme = scheme_by_name("pnm", mark_prob=0.25, anon_id_len=2)
+        assert scheme.mark_prob == 0.25
+        assert scheme.fmt.id_len == 2
+
+    def test_names_match_instances(self):
+        for name, cls in SCHEME_CLASSES.items():
+            assert cls.name == name
+
+
+@pytest.mark.parametrize("scheme", MARKING_SCHEMES, ids=lambda s: s.name)
+class TestCommonBehavior:
+    def test_honest_mark_verifies(self, scheme, keystore, provider, packet):
+        marked = mark_through_path(scheme, keystore, provider, [4], packet)
+        assert marked.num_marks == 1
+        assert scheme.verify_mark_as(marked, 0, 4, keystore[4], provider)
+
+    def test_wrong_key_fails(self, scheme, keystore, provider, packet):
+        if scheme.fmt.mac_len == 0:
+            pytest.skip("unauthenticated scheme: any well-formed mark passes")
+        marked = mark_through_path(scheme, keystore, provider, [4], packet)
+        assert not scheme.verify_mark_as(marked, 0, 4, keystore[5], provider)
+
+    def test_candidates_recover_marker(self, scheme, keystore, provider, packet):
+        marked = mark_through_path(scheme, keystore, provider, [4], packet)
+        candidates = scheme.candidate_marker_ids(marked, 0, keystore, provider)
+        assert 4 in candidates
+
+    def test_full_path_all_marks_verify(self, scheme, keystore, provider, packet):
+        path = [1, 2, 3, 4, 5]
+        marked = mark_through_path(scheme, keystore, provider, path, packet)
+        assert marked.num_marks == 5
+        for idx, node in enumerate(path):
+            assert scheme.verify_mark_as(
+                marked, idx, node, keystore[node], provider
+            ), f"mark {idx} by node {node} should verify"
+
+    def test_mark_matches_declared_format(self, scheme, keystore, provider, packet):
+        marked = mark_through_path(scheme, keystore, provider, [7], packet)
+        assert marked.marks[0].matches_format(scheme.fmt)
+
+    def test_zero_prob_never_marks(self, scheme, keystore, provider, packet):
+        if scheme.mark_prob == 0:
+            pytest.skip("null scheme")
+        import copy
+
+        lazy = copy.copy(scheme)
+        lazy.mark_prob = 0.0
+        out = lazy.on_forward(ctx_for(3, keystore, provider), packet)
+        assert out.num_marks == 0
+
+    def test_probabilistic_marking_rate(self, scheme, keystore, provider, packet):
+        import copy
+
+        half = copy.copy(scheme)
+        half.mark_prob = 0.5
+        ctx = ctx_for(3, keystore, provider)
+        marks = sum(
+            half.on_forward(ctx, packet).num_marks for _ in range(2000)
+        )
+        assert 850 < marks < 1150  # ~1000 expected
+
+
+class TestNoMarking:
+    def test_never_marks(self, keystore, provider, packet):
+        scheme = scheme_by_name("none")
+        out = mark_through_path(scheme, keystore, provider, [1, 2, 3], packet)
+        assert out.num_marks == 0

@@ -1,0 +1,213 @@
+"""Topology model and deployment generators."""
+
+import pytest
+
+from repro.net.topology import (
+    DisconnectedTopologyError,
+    Topology,
+    grid_topology,
+    linear_path_topology,
+    random_topology,
+)
+
+
+class TestTopologyBasics:
+    def make(self) -> Topology:
+        positions = {0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (1, 1)}
+        edges = [(0, 1), (1, 2), (1, 3)]
+        return Topology(positions, edges, sink=0)
+
+    def test_nodes_and_sensors(self):
+        t = self.make()
+        assert t.nodes() == [0, 1, 2, 3]
+        assert t.sensor_nodes() == [1, 2, 3]
+
+    def test_neighbors(self):
+        t = self.make()
+        assert t.neighbors(1) == {0, 2, 3}
+        assert t.neighbors(2) == {1}
+
+    def test_closed_neighborhood(self):
+        t = self.make()
+        assert t.closed_neighborhood(2) == {1, 2}
+
+    def test_degree_and_edges(self):
+        t = self.make()
+        assert t.degree(1) == 3
+        assert t.edges() == [(0, 1), (1, 2), (1, 3)]
+
+    def test_has_edge_symmetric(self):
+        t = self.make()
+        assert t.has_edge(0, 1) and t.has_edge(1, 0)
+        assert not t.has_edge(0, 2)
+
+    def test_distance(self):
+        t = self.make()
+        assert t.distance(0, 2) == pytest.approx(2.0)
+        assert t.distance(1, 3) == pytest.approx(1.0)
+
+    def test_connectivity(self):
+        t = self.make()
+        assert t.is_connected()
+        disconnected = Topology({0: (0, 0), 1: (5, 5)}, [], sink=0)
+        assert not disconnected.is_connected()
+
+    def test_hop_distances(self):
+        t = self.make()
+        assert t.hop_distances() == {0: 0, 1: 1, 2: 2, 3: 2}
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology({0: (0, 0)}, [(0, 0)], sink=0)
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            Topology({0: (0, 0)}, [(0, 9)], sink=0)
+
+    def test_rejects_missing_sink(self):
+        with pytest.raises(ValueError, match="sink"):
+            Topology({1: (0, 0)}, [], sink=0)
+
+
+class TestLinearPath:
+    def test_structure(self):
+        topo, source = linear_path_topology(5)
+        assert source == 6
+        # sink - V5 - V4 - V3 - V2 - V1 - S
+        assert topo.neighbors(0) == {5}
+        assert topo.neighbors(source) == {1}
+        assert topo.neighbors(3) == {2, 4}
+
+    def test_hop_distances_equal_reverse_position(self):
+        topo, source = linear_path_topology(4)
+        depths = topo.hop_distances()
+        assert depths[source] == 5
+        assert depths[1] == 4  # V_1 is farthest forwarder from the sink
+        assert depths[4] == 1
+
+    def test_single_forwarder(self):
+        topo, source = linear_path_topology(1)
+        assert topo.neighbors(0) == {1}
+        assert topo.neighbors(1) == {0, source}
+
+    def test_rejects_zero_forwarders(self):
+        with pytest.raises(ValueError):
+            linear_path_topology(0)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        t = grid_topology(3, 4)
+        assert t.num_nodes() == 12
+        assert t.is_connected()
+
+    def test_default_range_connects_diagonals(self):
+        t = grid_topology(2, 2)
+        assert t.has_edge(0, 3)  # diagonal within 1.5 * spacing
+
+    def test_corner_sink(self):
+        t = grid_topology(3, 3, sink_at="corner")
+        assert t.sink == 0
+
+    def test_center_sink(self):
+        t = grid_topology(3, 3, sink_at="center")
+        assert t.sink == 4
+
+    def test_tight_range_is_von_neumann(self):
+        t = grid_topology(3, 3, radio_range=1.0)
+        assert t.has_edge(0, 1)
+        assert not t.has_edge(0, 4)  # no diagonal at range 1.0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+
+    def test_rejects_bad_sink_spec(self):
+        with pytest.raises(ValueError, match="sink_at"):
+            grid_topology(2, 2, sink_at="middle")
+
+
+class TestRandomTopology:
+    def test_connected_and_sized(self):
+        t = random_topology(50, 10, 10, radio_range=2.5, seed=3)
+        assert t.num_nodes() == 51  # sensors + sink
+        assert t.is_connected()
+
+    def test_deterministic_per_seed(self):
+        a = random_topology(30, 10, 10, radio_range=2.5, seed=5)
+        b = random_topology(30, 10, 10, radio_range=2.5, seed=5)
+        assert a.edges() == b.edges()
+        assert a.position(7) == b.position(7)
+
+    def test_different_seeds_differ(self):
+        a = random_topology(30, 10, 10, radio_range=2.5, seed=1)
+        b = random_topology(30, 10, 10, radio_range=2.5, seed=2)
+        assert a.edges() != b.edges()
+
+    def test_center_sink_position(self):
+        t = random_topology(30, 10, 10, radio_range=3.0, seed=1, sink_at="center")
+        assert t.position(t.sink) == (5.0, 5.0)
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(DisconnectedTopologyError):
+            random_topology(
+                3, 1000, 1000, radio_range=1.0, seed=0, max_attempts=3
+            )
+
+    def test_unit_disk_invariant(self):
+        t = random_topology(40, 10, 10, radio_range=2.0, seed=9)
+        for u, v in t.edges():
+            assert t.distance(u, v) <= 2.0 + 1e-9
+
+
+class TestPoissonDisk:
+    def test_min_spacing_respected(self):
+        from repro.net.topology import poisson_disk_topology
+
+        t = poisson_disk_topology(10, 10, min_spacing=1.5, radio_range=2.5, seed=1)
+        nodes = t.nodes()
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                assert t.distance(u, v) >= 1.5 - 1e-9
+
+    def test_connected_and_dense(self):
+        from repro.net.topology import poisson_disk_topology
+
+        t = poisson_disk_topology(10, 10, min_spacing=1.2, radio_range=2.2, seed=2)
+        assert t.is_connected()
+        # Bridson sampling fills the field: expect tens of nodes.
+        assert t.num_nodes() > 30
+
+    def test_deterministic(self):
+        from repro.net.topology import poisson_disk_topology
+
+        a = poisson_disk_topology(8, 8, min_spacing=1.5, radio_range=2.5, seed=3)
+        b = poisson_disk_topology(8, 8, min_spacing=1.5, radio_range=2.5, seed=3)
+        assert a.edges() == b.edges()
+
+    def test_center_sink(self):
+        from repro.net.topology import poisson_disk_topology
+
+        t = poisson_disk_topology(
+            8, 8, min_spacing=1.5, radio_range=2.5, seed=4, sink_at="center"
+        )
+        assert t.position(t.sink) == (4.0, 4.0)
+
+    def test_validation(self):
+        from repro.net.topology import poisson_disk_topology
+
+        with pytest.raises(ValueError):
+            poisson_disk_topology(8, 8, min_spacing=0, radio_range=2)
+        with pytest.raises(ValueError):
+            poisson_disk_topology(8, 8, min_spacing=2, radio_range=2)
+        with pytest.raises(ValueError):
+            poisson_disk_topology(8, 8, min_spacing=1, radio_range=2, sink_at="edge")
+
+    def test_routable_end_to_end(self):
+        from repro.net.topology import poisson_disk_topology
+        from repro.routing.tree import build_routing_tree
+
+        t = poisson_disk_topology(10, 10, min_spacing=1.3, radio_range=2.4, seed=5)
+        table = build_routing_tree(t)
+        far = max(t.sensor_nodes(), key=lambda n: table.hop_count(n))
+        assert table.path_to_sink(far)[-1] == t.sink

@@ -1,0 +1,79 @@
+"""Mark wire format and MarkFormat validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.marks import Mark, MarkFormat
+
+
+class TestMarkFormat:
+    def test_mark_len(self):
+        assert MarkFormat(id_len=2, mac_len=4).mark_len == 6
+        assert MarkFormat(id_len=4, mac_len=0).mark_len == 4
+
+    def test_encode_decode_node_id(self):
+        fmt = MarkFormat(id_len=2)
+        assert fmt.decode_node_id(fmt.encode_node_id(513)) == 513
+
+    def test_encode_rejects_overflow(self):
+        fmt = MarkFormat(id_len=1)
+        with pytest.raises(ValueError, match="fit"):
+            fmt.encode_node_id(256)
+
+    def test_encode_boundary(self):
+        fmt = MarkFormat(id_len=1)
+        assert fmt.encode_node_id(255) == b"\xff"
+
+    def test_encode_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkFormat().encode_node_id(-3)
+
+    def test_decode_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            MarkFormat(id_len=2).decode_node_id(b"abc")
+
+    def test_rejects_bad_field_lengths(self):
+        with pytest.raises(ValueError):
+            MarkFormat(id_len=0)
+        with pytest.raises(ValueError):
+            MarkFormat(mac_len=-1)
+
+    @given(node_id=st.integers(min_value=0, max_value=0xFFFF))
+    def test_id_roundtrip_property(self, node_id):
+        fmt = MarkFormat(id_len=2)
+        assert fmt.decode_node_id(fmt.encode_node_id(node_id)) == node_id
+
+
+class TestMark:
+    def test_encode_concatenates(self):
+        m = Mark(id_field=b"\x00\x07", mac=b"abcd")
+        assert m.encode() == b"\x00\x07abcd"
+        assert m.wire_len == 6
+
+    def test_decode_roundtrip(self):
+        fmt = MarkFormat(id_len=2, mac_len=4)
+        m = Mark(id_field=b"\x01\x02", mac=b"wxyz")
+        assert Mark.decode(m.encode(), fmt) == m
+
+    def test_decode_zero_mac_len(self):
+        fmt = MarkFormat(id_len=2, mac_len=0)
+        m = Mark.decode(b"\x00\x05", fmt)
+        assert m.id_field == b"\x00\x05"
+        assert m.mac == b""
+
+    def test_decode_rejects_wrong_size(self):
+        fmt = MarkFormat(id_len=2, mac_len=4)
+        with pytest.raises(ValueError):
+            Mark.decode(b"\x00\x05", fmt)
+
+    def test_matches_format(self):
+        fmt = MarkFormat(id_len=2, mac_len=4)
+        assert Mark(id_field=b"ab", mac=b"cdef").matches_format(fmt)
+        assert not Mark(id_field=b"abc", mac=b"def").matches_format(fmt)
+
+    @given(id_field=st.binary(min_size=3, max_size=3), mac=st.binary(min_size=5, max_size=5))
+    def test_roundtrip_property(self, id_field, mac):
+        fmt = MarkFormat(id_len=3, mac_len=5)
+        m = Mark(id_field=id_field, mac=mac)
+        assert Mark.decode(m.encode(), fmt) == m

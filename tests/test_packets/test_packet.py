@@ -1,0 +1,97 @@
+"""MarkedPacket: wire prefixes, immutability, decode."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+
+FMT = MarkFormat(id_len=2, mac_len=4)
+
+
+def make_packet(num_marks: int) -> MarkedPacket:
+    report = Report(event=b"ev", location=(1.0, 2.0), timestamp=9)
+    marks = tuple(
+        Mark(id_field=i.to_bytes(2, "big"), mac=bytes([i] * 4))
+        for i in range(num_marks)
+    )
+    return MarkedPacket(report=report, marks=marks)
+
+
+class TestPrefixWire:
+    def test_prefix_zero_is_report(self):
+        p = make_packet(3)
+        assert p.prefix_wire(0) == p.report_wire
+
+    def test_prefix_full_is_wire(self):
+        p = make_packet(3)
+        assert p.prefix_wire(3) == p.wire()
+
+    def test_prefixes_nest(self):
+        p = make_packet(4)
+        for k in range(4):
+            assert p.prefix_wire(k + 1).startswith(p.prefix_wire(k))
+
+    def test_prefix_is_message_as_received(self):
+        # prefix_wire(k) equals the wire of the packet before mark k+1.
+        p = make_packet(4)
+        truncated = p.with_marks(p.marks[:2])
+        assert p.prefix_wire(2) == truncated.wire()
+
+    def test_prefix_out_of_range(self):
+        p = make_packet(2)
+        with pytest.raises(ValueError):
+            p.prefix_wire(3)
+        with pytest.raises(ValueError):
+            p.prefix_wire(-1)
+
+
+class TestMutationHelpers:
+    def test_with_mark_appends(self):
+        p = make_packet(1)
+        new_mark = Mark(id_field=b"\x00\x09", mac=b"9999")
+        p2 = p.with_mark(new_mark)
+        assert p2.marks == p.marks + (new_mark,)
+        assert p.num_marks == 1  # original untouched
+
+    def test_with_marks_replaces(self):
+        p = make_packet(3)
+        p2 = p.with_marks(p.marks[1:])
+        assert p2.num_marks == 2
+        assert p2.report == p.report
+
+    def test_origin_preserved_and_excluded_from_equality(self):
+        report = Report(event=b"e", location=(0, 0), timestamp=1)
+        a = MarkedPacket(report=report, origin=5)
+        b = MarkedPacket(report=report, origin=7)
+        assert a == b  # origin is simulation metadata, not wire content
+        assert a.with_mark(Mark(b"ab", b"cdef")).origin == 5
+
+
+class TestWireLen:
+    def test_accounts_for_marks(self):
+        p0, p3 = make_packet(0), make_packet(3)
+        assert p3.wire_len == p0.wire_len + 3 * FMT.mark_len
+        assert p3.wire_len == len(p3.wire())
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        p = make_packet(3)
+        assert MarkedPacket.decode(p.wire(), FMT) == p
+
+    def test_roundtrip_no_marks(self):
+        p = make_packet(0)
+        assert MarkedPacket.decode(p.wire(), FMT) == p
+
+    def test_rejects_partial_mark(self):
+        p = make_packet(2)
+        with pytest.raises(ValueError, match="multiple"):
+            MarkedPacket.decode(p.wire() + b"xy", FMT)
+
+    @given(num_marks=st.integers(min_value=0, max_value=10))
+    def test_roundtrip_property(self, num_marks):
+        p = make_packet(num_marks)
+        assert MarkedPacket.decode(p.wire(), FMT) == p

@@ -1,0 +1,85 @@
+"""Report wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.report import MAX_EVENT_LEN, Report
+
+# Locations that survive the fixed-point (millimetre) encoding exactly.
+mm_coords = st.integers(min_value=-(2**31) + 1, max_value=2**31 - 1).map(
+    lambda mm: mm / 1000
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        r = Report(event=b"evt", location=(1.5, -2.25), timestamp=42)
+        assert Report.decode(r.encode()) == r
+
+    def test_roundtrip_empty_event(self):
+        r = Report(event=b"", location=(0.0, 0.0), timestamp=0)
+        assert Report.decode(r.encode()) == r
+
+    def test_wire_len_matches_encoding(self):
+        r = Report(event=b"abcdef", location=(1.0, 1.0), timestamp=1)
+        assert len(r.encode()) == r.wire_len
+
+    def test_decode_prefix_reports_consumption(self):
+        r = Report(event=b"xy", location=(1.0, 2.0), timestamp=3)
+        wire = r.encode() + b"trailing-marks"
+        decoded, consumed = Report.decode_prefix(wire)
+        assert decoded == r
+        assert consumed == r.wire_len
+
+    def test_decode_rejects_trailing_bytes(self):
+        r = Report(event=b"xy", location=(1.0, 2.0), timestamp=3)
+        with pytest.raises(ValueError, match="trailing"):
+            Report.decode(r.encode() + b"x")
+
+    def test_decode_rejects_truncation(self):
+        wire = Report(event=b"xyz", location=(1.0, 2.0), timestamp=3).encode()
+        for cut in (1, 5, len(wire) - 1):
+            with pytest.raises(ValueError):
+                Report.decode(wire[:cut])
+
+    def test_decode_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Report.decode(b"")
+
+    @given(
+        event=st.binary(max_size=64),
+        x=mm_coords,
+        y=mm_coords,
+        timestamp=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_roundtrip_property(self, event, x, y, timestamp):
+        r = Report(event=event, location=(x, y), timestamp=timestamp)
+        assert Report.decode(r.encode()) == r
+
+
+class TestValidation:
+    def test_rejects_oversized_event(self):
+        with pytest.raises(ValueError, match="too long"):
+            Report(event=b"x" * (MAX_EVENT_LEN + 1), location=(0, 0), timestamp=0)
+
+    def test_accepts_max_event(self):
+        r = Report(event=b"x" * MAX_EVENT_LEN, location=(0, 0), timestamp=0)
+        assert Report.decode(r.encode()) == r
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            Report(event=b"", location=(0, 0), timestamp=-1)
+
+    def test_rejects_huge_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            Report(event=b"", location=(0, 0), timestamp=2**32)
+
+    def test_rejects_out_of_range_location(self):
+        with pytest.raises(ValueError, match="location"):
+            Report(event=b"", location=(3e6, 0.0), timestamp=0)
+
+    def test_immutable(self):
+        r = Report(event=b"", location=(0, 0), timestamp=0)
+        with pytest.raises(AttributeError):
+            r.timestamp = 5  # type: ignore[misc]

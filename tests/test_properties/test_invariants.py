@@ -1,0 +1,151 @@
+"""Property-based invariants: wire formats, precedence graphs, PNM."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets.marks import MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.tracealt.logging import BloomFilter
+from repro.traceback.reconstruct import PrecedenceGraph
+
+FMT = MarkFormat(id_len=2, mac_len=4)
+
+
+class TestWireFuzzing:
+    """Decoders must never crash with anything but ValueError, and
+    anything they accept must re-encode byte-identically."""
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_report_decode_total(self, data):
+        try:
+            report = Report.decode(data)
+        except ValueError:
+            return
+        assert report.encode() == data
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_packet_decode_total(self, data):
+        try:
+            packet = MarkedPacket.decode(data, FMT)
+        except ValueError:
+            return
+        assert packet.wire() == data
+
+    @given(
+        event=st.binary(max_size=40),
+        ts=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        junk=st.binary(min_size=1, max_size=10),
+    )
+    @settings(max_examples=100)
+    def test_trailing_junk_rejected_or_consumed_as_marks(self, event, ts, junk):
+        report = Report(event=event, location=(1.0, 2.0), timestamp=ts)
+        data = report.encode() + junk
+        try:
+            packet = MarkedPacket.decode(data, FMT)
+        except ValueError:
+            return
+        # If accepted, the junk parsed as whole marks.
+        assert len(junk) % FMT.mark_len == 0
+        assert packet.wire() == data
+
+
+def ordered_subsets(path: list[int]):
+    """Strategy: random ordered subsets of a ground-truth path."""
+    return st.lists(
+        st.integers(0, len(path) - 1), min_size=1, max_size=len(path), unique=True
+    ).map(lambda idxs: [path[i] for i in sorted(idxs)])
+
+
+class TestPrecedenceInvariants:
+    """Chains drawn from one true path can never mis-identify its head."""
+
+    @given(data=st.data(), n=st.integers(2, 12))
+    @settings(max_examples=120)
+    def test_most_upstream_is_path_minimum(self, data, n):
+        path = list(range(1, n + 1))
+        graph = PrecedenceGraph()
+        num_chains = data.draw(st.integers(1, 12), label="num_chains")
+        observed: set[int] = set()
+        for i in range(num_chains):
+            chain = data.draw(ordered_subsets(path), label=f"chain{i}")
+            graph.add_chain(chain)
+            observed.update(chain)
+        analysis = graph.analyze()
+        assert analysis.observed == observed
+        assert not analysis.has_loop
+        # Whatever the evidence, the true path head dominates: if the
+        # verdict is unequivocal it MUST name the smallest observed node.
+        if analysis.unequivocal:
+            assert analysis.most_upstream == min(observed)
+        # And the smallest observed node is always still a candidate.
+        assert min(observed) in analysis.source_candidates
+
+    @given(data=st.data(), n=st.integers(2, 10))
+    @settings(max_examples=60)
+    def test_analysis_monotone_in_evidence(self, data, n):
+        """Once unequivocal on the true head, more (consistent) chains
+        never change the answer."""
+        path = list(range(1, n + 1))
+        graph = PrecedenceGraph()
+        graph.add_chain(path)  # full order: unequivocal at the true head
+        first = graph.analyze()
+        assert first.unequivocal and first.most_upstream == 1
+        for i in range(data.draw(st.integers(1, 6), label="extra")):
+            graph.add_chain(data.draw(ordered_subsets(path), label=f"c{i}"))
+        again = graph.analyze()
+        assert again.unequivocal and again.most_upstream == 1
+
+
+class TestBloomProperties:
+    @given(items=st.lists(st.binary(min_size=1, max_size=16), max_size=60))
+    @settings(max_examples=60)
+    def test_no_false_negatives(self, items):
+        bf = BloomFilter(size_bits=2048, num_hashes=4)
+        for item in items:
+            bf.add(item)
+        assert all(item in bf for item in items)
+
+
+class TestPnmAggregateProperty:
+    """Theorem 4 flavored: PNM aggregate verdicts never frame innocents,
+    for random path lengths, marking probabilities and mole positions."""
+
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        prob_pct=st.integers(min_value=20, max_value=90),
+        mole_position=st.data(),
+        seed=st.integers(min_value=0, max_value=9999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_never_frames(self, n, prob_pct, mole_position, seed):
+        from repro.core.build import build_scenario
+        from repro.core.scenario import Scenario
+
+        position = mole_position.draw(st.integers(1, n), label="mole_position")
+        attack = mole_position.draw(
+            st.sampled_from(
+                ["no-mark", "remove-all", "reorder", "alter", "selective-drop"]
+            ),
+            label="attack",
+        )
+        sc = Scenario(
+            n_forwarders=n,
+            scheme="pnm",
+            mark_prob=prob_pct / 100,
+            attack=attack,
+            mole_position=position,
+            seed=seed,
+        )
+        built = build_scenario(sc)
+        built.pipeline.push_many(80)
+        verdict = built.sink.verdict()
+        if verdict.identified:
+            assert verdict.suspect.members & built.mole_ids, (
+                f"PNM framed innocents under {attack} at position {position}: "
+                f"{sorted(verdict.suspect.members)} vs moles {sorted(built.mole_ids)}"
+            )

@@ -1,0 +1,122 @@
+"""Robustness: fuzzed inputs and seed-independence of headline outcomes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filtering.sef import attach_endorsements, extract_endorsements, Endorsement
+from repro.packets.report import Report
+
+
+class TestSefParsingFuzz:
+    """Endorsement parsing is attacker-facing: it must never crash."""
+
+    @given(event=st.binary(max_size=120))
+    @settings(max_examples=300)
+    def test_extract_total(self, event):
+        report = Report(event=event, location=(0, 0), timestamp=1)
+        try:
+            bare, endos = extract_endorsements(report)
+        except ValueError:
+            return
+        # Anything accepted must re-attach to the identical event bytes.
+        assert attach_endorsements(bare, endos).event == event
+
+    @given(
+        payload=st.binary(max_size=40),
+        endos=st.lists(
+            st.builds(
+                Endorsement,
+                key_index=st.integers(0, 0xFFFF),
+                mac=st.binary(max_size=16),
+            ),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=200)
+    def test_attach_extract_roundtrip(self, payload, endos):
+        report = Report(event=payload, location=(1, 2), timestamp=3)
+        packed = attach_endorsements(report, endos)
+        bare, out = extract_endorsements(packed)
+        assert bare.event == payload
+        assert out == endos
+
+
+class TestSeedRobustness:
+    """The headline security outcomes must not depend on the RNG seed."""
+
+    @pytest.mark.parametrize("seed", [1, 42, 1337])
+    def test_pnm_catches_selective_dropper_any_seed(self, seed):
+        from repro.core.experiment import run_scenario
+        from repro.core.scenario import Scenario
+
+        result = run_scenario(
+            Scenario(
+                n_forwarders=10, scheme="pnm", attack="selective-drop", seed=seed
+            ),
+            num_packets=300,
+        )
+        assert result.outcome == "caught"
+
+    @pytest.mark.parametrize("seed", [1, 42, 1337])
+    def test_naive_framed_any_seed(self, seed):
+        from repro.core.experiment import run_scenario
+        from repro.core.scenario import Scenario
+
+        result = run_scenario(
+            Scenario(
+                n_forwarders=10,
+                scheme="naive-pnm",
+                attack="selective-drop",
+                seed=seed,
+            ),
+            num_packets=300,
+        )
+        assert result.outcome == "framed"
+        assert result.suspect_center == 2  # the paper's exact framing target
+
+    @pytest.mark.parametrize("seed", [7, 99])
+    def test_identity_swap_loop_any_seed(self, seed):
+        from repro.core.experiment import run_scenario
+        from repro.core.scenario import Scenario
+
+        result = run_scenario(
+            Scenario(
+                n_forwarders=10, scheme="pnm", attack="identity-swap", seed=seed
+            ),
+            num_packets=400,
+        )
+        assert result.loop_detected
+        assert result.outcome == "caught"
+
+
+class TestEngineStress:
+    def test_many_interleaved_events(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+        # 5000 events scheduled out of order; all must fire in time order.
+        import random
+
+        rng = random.Random(0)
+        times = [rng.uniform(0, 100) for _ in range(5000)]
+        for t in times:
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == sorted(times)
+        assert sim.events_processed == 5000
+
+    def test_cancellation_under_load(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(1000)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run()
+        assert fired == list(range(1, 1000, 2))

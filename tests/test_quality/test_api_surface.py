@@ -1,0 +1,40 @@
+"""Quality gate: the declared public API actually resolves.
+
+Stale ``__all__`` entries are the classic bitrot of re-export modules;
+this walks every package and asserts each advertised name exists.
+"""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    """Yield every module in the repro package tree."""
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        broken = []
+        for module in iter_modules():
+            for name in getattr(module, "__all__", ()):
+                if not hasattr(module, name):
+                    broken.append(f"{module.__name__}.{name}")
+        assert not broken, f"__all__ names that do not resolve: {broken}"
+
+    def test_top_level_quickstart_names(self):
+        # The README quickstart must keep working.
+        from repro import Scenario, build_scenario, run_scenario  # noqa: F401
+
+    def test_version_present(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_star_import_is_clean(self):
+        namespace = {}
+        exec("from repro import *", namespace)  # noqa: S102
+        assert "Scenario" in namespace
+        assert "PNMMarking" in namespace

@@ -1,0 +1,130 @@
+"""Path pipeline, metrics, behaviors."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyStore
+from repro.filtering.suppression import DuplicateSuppressor
+from repro.marking.nested import NestedMarking
+from repro.marking.pnm import PNMMarking
+from repro.net.topology import linear_path_topology
+from repro.sim.behaviors import HonestForwarder
+from repro.sim.metrics import EnergyModel, MetricsCollector
+from repro.sim.pipeline import PathPipeline
+from repro.sim.sources import BogusReportSource
+from repro.traceback.sink import TracebackSink
+from tests.conftest import MASTER, ctx_for
+
+
+def make_pipeline(n=6, scheme=None, provider=None):
+    from repro.crypto.mac import HmacProvider
+
+    provider = provider or HmacProvider()
+    scheme = scheme or NestedMarking()
+    topo, source_id = linear_path_topology(n)
+    keystore = KeyStore.from_master_secret(MASTER, topo.sensor_nodes())
+    forwarders = [
+        HonestForwarder(ctx_for(i, keystore, provider), scheme)
+        for i in range(1, n + 1)
+    ]
+    sink = TracebackSink(scheme, keystore, provider, topo)
+    source = BogusReportSource(source_id, (9.0, 0.0), random.Random(0))
+    return PathPipeline(source=source, forwarders=forwarders, sink=sink), keystore
+
+
+class TestPathPipeline:
+    def test_push_delivers_and_verifies(self):
+        pipeline, _ = make_pipeline()
+        verification = pipeline.push()
+        assert verification is not None
+        assert verification.chain_ids == [1, 2, 3, 4, 5, 6]
+
+    def test_path_ids(self):
+        pipeline, _ = make_pipeline(n=3)
+        assert pipeline.path_ids == [4, 1, 2, 3]
+
+    def test_push_many_counts(self):
+        pipeline, _ = make_pipeline()
+        results = pipeline.push_many(10)
+        assert len(results) == 10
+        assert pipeline.metrics.packets_injected == 10
+        assert pipeline.metrics.packets_delivered == 10
+
+    def test_metrics_track_growing_packets(self):
+        pipeline, _ = make_pipeline(n=4)
+        pipeline.push()
+        tx = pipeline.metrics.bytes_transmitted
+        # Each of the 4 forwarders adds one 6-byte mark (id 2 + mac 4)
+        # before transmitting, so sizes strictly increase along the path.
+        sizes = [tx[nid] for nid in pipeline.path_ids]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] - sizes[0] == 4 * 6
+
+    def test_run_until_identified_stable(self):
+        pipeline, _ = make_pipeline(n=6, scheme=PNMMarking(mark_prob=0.5))
+        packets, center = pipeline.run_until_identified(
+            max_packets=300, stable_window=20
+        )
+        assert packets is not None
+        assert center == 1
+
+    def test_run_until_identified_budget_exhausted(self):
+        from repro.marking.plain import NoMarking
+
+        pipeline, _ = make_pipeline(n=6, scheme=NoMarking())
+        # NoMarking: verdict centers on the delivering node immediately and
+        # stays there, so identification (of the wrong place) is stable.
+        packets, center = pipeline.run_until_identified(
+            max_packets=30, stable_window=10
+        )
+        assert packets == 10
+        assert center == 6  # the sink's neighbor: all it can ever know
+
+    def test_requires_forwarders(self):
+        pipeline, _ = make_pipeline(n=2)
+        with pytest.raises(ValueError):
+            PathPipeline(pipeline.source, [], pipeline.sink)
+
+
+class TestHonestForwarderSuppression:
+    def test_duplicate_dropped_before_marking(self, keystore, provider, packet):
+        forwarder = HonestForwarder(
+            ctx_for(1, keystore, provider),
+            NestedMarking(),
+            suppressor=DuplicateSuppressor(capacity=8),
+        )
+        first = forwarder.forward(packet)
+        assert first is not None
+        assert forwarder.forward(packet) is None  # replayed copy dropped
+
+
+class TestMetrics:
+    def test_energy_model(self):
+        model = EnergyModel(joules_per_byte=2.0, joules_per_packet=10.0)
+        assert model.transmission_cost(5) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            model.transmission_cost(-1)
+
+    def test_collector_aggregates(self):
+        m = MetricsCollector()
+        m.record_injection()
+        m.record_transmission(1, 100)
+        m.record_transmission(2, 50)
+        m.record_transmission(1, 25)
+        m.record_delivery(delay=0.5)
+        assert m.total_bytes == 175
+        assert m.total_transmissions == 3
+        assert m.transmissions[1] == 2
+        assert m.mean_delivery_delay() == pytest.approx(0.5)
+
+    def test_per_node_energy(self):
+        m = MetricsCollector(energy_model=EnergyModel(1.0, 0.0))
+        m.record_transmission(3, 10)
+        assert m.energy_spent(3) == pytest.approx(10.0)
+        assert m.energy_spent(4) == pytest.approx(0.0)
+
+    def test_summary_keys(self):
+        summary = MetricsCollector().summary()
+        assert summary["packets_injected"] == 0
+        assert "energy_joules" in summary

@@ -1,0 +1,124 @@
+"""Packet tracing."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import HmacProvider
+from repro.marking.base import NodeContext
+from repro.marking.pnm import PNMMarking
+from repro.net.links import LinkModel
+from repro.net.topology import linear_path_topology
+from repro.packets.report import Report
+from repro.routing.tree import build_routing_tree
+from repro.sim.behaviors import HonestForwarder
+from repro.sim.network import NetworkSimulation
+from repro.sim.sources import BogusReportSource
+from repro.sim.tracing import PacketTracer
+from repro.traceback.sink import TracebackSink
+from tests.conftest import MASTER, ctx_for
+
+
+def traced_simulation(loss_prob=0.0, tracer=None):
+    topo, source_id = linear_path_topology(5)
+    routing = build_routing_tree(topo)
+    provider = HmacProvider()
+    keystore = KeyStore.from_master_secret(MASTER, topo.sensor_nodes())
+    scheme = PNMMarking(mark_prob=0.5)
+    behaviors = {
+        nid: HonestForwarder(ctx_for(nid, keystore, provider), scheme)
+        for nid in topo.sensor_nodes()
+    }
+    sink = TracebackSink(scheme, keystore, provider, topo)
+    sim = NetworkSimulation(
+        topology=topo,
+        routing=routing,
+        behaviors=behaviors,
+        sink=sink,
+        link=LinkModel(base_delay=0.001, loss_prob=loss_prob),
+        rng=random.Random(1),
+        tracer=tracer,
+    )
+    return sim, topo, source_id
+
+
+class TestPacketTracer:
+    def test_full_journey_recorded(self):
+        tracer = PacketTracer()
+        sim, topo, source_id = traced_simulation(tracer=tracer)
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.1, count=3)
+        sim.run()
+        counts = tracer.counts()
+        assert counts["inject"] == 3
+        assert counts["deliver"] == 3
+        assert counts["forward"] == 3 * 5  # 5 forwarders per packet
+        assert counts["drop"] == 0
+
+    def test_journey_in_order(self):
+        tracer = PacketTracer()
+        sim, topo, source_id = traced_simulation(tracer=tracer)
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.1, count=1)
+        sim.run()
+        report = sim.delivered[0].report
+        journey = tracer.journey(report)
+        kinds = [e.kind for e in journey]
+        assert kinds[0] == "inject"
+        assert kinds[-1] == "deliver"
+        assert all(k == "forward" for k in kinds[1:-1])
+        times = [e.time for e in journey]
+        assert times == sorted(times)
+        assert tracer.fate(report) == "deliver"
+
+    def test_losses_traced(self):
+        tracer = PacketTracer()
+        sim, topo, source_id = traced_simulation(loss_prob=0.4, tracer=tracer)
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.05, count=50)
+        sim.run()
+        assert tracer.counts()["loss"] == sim.metrics.packets_lost
+        assert sum(tracer.loss_locations().values()) == sim.metrics.packets_lost
+
+    def test_quarantine_drops_not_traced_as_forward(self):
+        tracer = PacketTracer()
+        sim, topo, source_id = traced_simulation(tracer=tracer)
+        sim.quarantine({source_id})
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.1, count=4)
+        sim.run()
+        assert tracer.counts()["deliver"] == 0
+        assert tracer.counts()["forward"] == 0
+
+    def test_unknown_packet_fate(self):
+        tracer = PacketTracer()
+        unknown = Report(event=b"ghost", location=(0, 0), timestamp=1)
+        assert tracer.fate(unknown) == "unknown"
+        assert tracer.journey(unknown) == []
+        assert "no events" in tracer.format_journey(unknown)
+
+    def test_truncation_flag(self):
+        tracer = PacketTracer(max_events=5)
+        sim, topo, source_id = traced_simulation(tracer=tracer)
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.1, count=5)
+        sim.run()
+        assert len(tracer) == 5
+        assert tracer.truncated
+
+    def test_format_journey(self):
+        tracer = PacketTracer()
+        sim, topo, source_id = traced_simulation(tracer=tracer)
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.1, count=1)
+        sim.run()
+        text = tracer.format_journey(sim.delivered[0].report)
+        assert "inject" in text and "deliver" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketTracer(max_events=0)
+        tracer = PacketTracer()
+        with pytest.raises(ValueError, match="kind"):
+            tracer.record(0.0, "teleport", 1, Report(event=b"", location=(0, 0), timestamp=0))

@@ -1,0 +1,180 @@
+"""Notification-based traceback (iTrace-style)."""
+
+import random
+
+import pytest
+
+from repro.marking.plain import NoMarking
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.sim.behaviors import HonestForwarder
+from repro.tracealt.notification import (
+    ForgingNotificationMole,
+    Notification,
+    NotificationSink,
+    NotifyingForwarder,
+    SilentNotificationMole,
+    notification_digest,
+)
+from tests.conftest import ctx_for
+
+
+def make_report(tag: int = 1) -> Report:
+    return Report(event=bytes([tag]), location=(0, 0), timestamp=tag)
+
+
+def make_forwarder(
+    nid, prev, sink, keystore, provider, prob=1.0, authenticated=False, cls=NotifyingForwarder, **extra
+):
+    inner = HonestForwarder(ctx_for(nid, keystore, provider), NoMarking())
+    return cls(
+        inner=inner,
+        prev_hop=prev,
+        sink=sink,
+        notify_prob=prob,
+        rng=random.Random(f"note:{nid}"),
+        key=keystore[nid] if authenticated else None,
+        provider=provider if authenticated else None,
+        **extra,
+    )
+
+
+class TestNotifyingForwarder:
+    def test_notifies_with_probability_one(self, keystore, provider):
+        sink = NotificationSink()
+        fwd = make_forwarder(3, 2, sink, keystore, provider)
+        fwd.forward(MarkedPacket(report=make_report()))
+        assert len(sink.accepted) == 1
+        note = sink.accepted[0]
+        assert note.node_id == 3 and note.prev_hop == 2
+        assert note.digest == notification_digest(make_report())
+
+    def test_probability_zero_never_notifies(self, keystore, provider):
+        sink = NotificationSink()
+        fwd = make_forwarder(3, 2, sink, keystore, provider, prob=0.0)
+        for _ in range(50):
+            fwd.forward(MarkedPacket(report=make_report()))
+        assert sink.accepted == []
+
+    def test_notification_rate(self, keystore, provider):
+        sink = NotificationSink()
+        fwd = make_forwarder(3, 2, sink, keystore, provider, prob=0.25)
+        for i in range(2000):
+            fwd.forward(MarkedPacket(report=make_report(i % 200)))
+        assert 400 < fwd.notifications_sent < 600
+
+    def test_validation(self, keystore, provider):
+        with pytest.raises(ValueError):
+            make_forwarder(3, 2, NotificationSink(), keystore, provider, prob=1.5)
+        inner = HonestForwarder(ctx_for(3, keystore, provider), NoMarking())
+        with pytest.raises(ValueError, match="provider"):
+            NotifyingForwarder(
+                inner=inner,
+                prev_hop=2,
+                sink=NotificationSink(),
+                notify_prob=0.5,
+                rng=random.Random(0),
+                key=b"k",
+                provider=None,
+            )
+
+
+class TestAuthentication:
+    def test_valid_mac_accepted(self, keystore, provider):
+        sink = NotificationSink(authenticated=True, keystore=keystore, provider=provider)
+        fwd = make_forwarder(3, 2, sink, keystore, provider, authenticated=True)
+        fwd.forward(MarkedPacket(report=make_report()))
+        assert len(sink.accepted) == 1
+        assert sink.rejected == 0
+
+    def test_forged_mac_rejected(self, keystore, provider):
+        sink = NotificationSink(authenticated=True, keystore=keystore, provider=provider)
+        sink.deliver(
+            Notification(node_id=3, prev_hop=2, digest=b"\x00" * 8, mac=b"fake")
+        )
+        assert sink.accepted == []
+        assert sink.rejected == 1
+
+    def test_unknown_node_rejected(self, keystore, provider):
+        sink = NotificationSink(authenticated=True, keystore=keystore, provider=provider)
+        sink.deliver(Notification(node_id=999, prev_hop=2, digest=b"\x00" * 8))
+        assert sink.rejected == 1
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            NotificationSink(authenticated=True)
+
+
+class TestMoles:
+    def test_silent_mole_forwards_without_notifying(self, keystore, provider):
+        sink = NotificationSink()
+        mole = make_forwarder(
+            4, 3, sink, keystore, provider, cls=SilentNotificationMole
+        )
+        out = mole.forward(MarkedPacket(report=make_report()))
+        assert out is not None
+        assert sink.accepted == []
+
+    def test_forging_mole_frames_unauthenticated(self, keystore, provider):
+        sink = NotificationSink()
+        mole = make_forwarder(
+            4,
+            3,
+            sink,
+            keystore,
+            provider,
+            cls=ForgingNotificationMole,
+            frame_victim=13,
+            frame_prev=7,
+        )
+        mole.forward(MarkedPacket(report=make_report()))
+        forged = [n for n in sink.accepted if n.node_id == 13]
+        assert forged and forged[0].prev_hop == 7
+        # It also notified honestly to blend in.
+        assert any(n.node_id == 4 for n in sink.accepted)
+
+    def test_forging_mole_defeated_by_authentication(self, keystore, provider):
+        sink = NotificationSink(authenticated=True, keystore=keystore, provider=provider)
+        mole = make_forwarder(
+            4,
+            3,
+            sink,
+            keystore,
+            provider,
+            authenticated=True,
+            cls=ForgingNotificationMole,
+            frame_victim=13,
+            frame_prev=7,
+        )
+        mole.forward(MarkedPacket(report=make_report()))
+        # The forged message (MAC'd with the mole's own key) is rejected;
+        # the honest self-notification passes.
+        assert sink.rejected == 1
+        assert [n.node_id for n in sink.accepted] == [4]
+
+
+class TestReconstruction:
+    def test_edges_and_origin(self, keystore, provider):
+        sink = NotificationSink()
+        report = make_report()
+        packet = MarkedPacket(report=report)
+        prev = 9  # source
+        for nid in (1, 2, 3):
+            fwd = make_forwarder(nid, prev, sink, keystore, provider)
+            packet = fwd.forward(packet)
+            prev = nid
+        edges = sink.edges_for(report)
+        assert edges == {(9, 1), (1, 2), (2, 3)}
+        assert sink.most_upstream([report]) == 9
+
+    def test_origin_none_without_evidence(self):
+        sink = NotificationSink()
+        assert sink.most_upstream([make_report()]) is None
+
+    def test_byte_accounting(self, keystore, provider):
+        from repro.tracealt.notification import NOTIFICATION_BYTES
+
+        sink = NotificationSink()
+        fwd = make_forwarder(3, 2, sink, keystore, provider)
+        fwd.forward(MarkedPacket(report=make_report()))
+        assert sink.bytes_received == NOTIFICATION_BYTES
