@@ -6,7 +6,6 @@ verifying a marked packet end to end, and the topology-bounded O(d)
 variant of Section 7.
 """
 
-import random
 
 import pytest
 

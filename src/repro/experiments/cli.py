@@ -25,6 +25,7 @@ from repro.experiments import (
     multisource_exp,
     overhead_table,
     security_matrix,
+    service_sweep,
     sink_cost,
 )
 from repro.experiments.presets import Preset, preset_by_name
@@ -39,6 +40,7 @@ _SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
     "fig7": fig7.run,
     "security-matrix": security_matrix.run,
     "sink-cost": sink_cost.run,
+    "service-sweep": service_sweep.run,
     "approaches": approaches.run,
     "overhead": overhead_table.run,
     "filtering-interplay": filtering_interplay.run,

@@ -9,6 +9,7 @@ physically inspect nodes.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 __all__ = ["RevocationList", "RevocationRecord"]
@@ -31,17 +32,34 @@ class RevocationRecord:
 
 
 class RevocationList:
-    """An append-only record of revoked nodes."""
+    """An append-only record of revoked nodes.
+
+    Other sink-side components can react to revocations as they happen via
+    :meth:`subscribe` -- e.g. the ingest service's resolver cache drops any
+    state derived from a node's key the moment that node is revoked.
+    """
 
     def __init__(self) -> None:
         self._records: dict[int, RevocationRecord] = {}
+        self._listeners: list[Callable[[RevocationRecord], None]] = []
+
+    def subscribe(self, listener: Callable[[RevocationRecord], None]) -> None:
+        """Register a callback invoked once per *newly* revoked node.
+
+        Listeners fire synchronously inside :meth:`revoke`, after the
+        record is stored; re-revocations do not re-fire.
+        """
+        self._listeners.append(listener)
 
     def revoke(self, node_id: int, reason: str, revoked_at: float = 0.0) -> None:
         """Add a node; re-revoking keeps the earliest record."""
         if node_id not in self._records:
-            self._records[node_id] = RevocationRecord(
+            record = RevocationRecord(
                 node_id=node_id, reason=reason, revoked_at=revoked_at
             )
+            self._records[node_id] = record
+            for listener in self._listeners:
+                listener(record)
 
     def is_revoked(self, node_id: int) -> bool:
         """Whether the node has been revoked."""

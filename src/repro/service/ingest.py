@@ -1,0 +1,256 @@
+"""The sink ingest service: batched, cached, observable packet intake.
+
+Wraps a :class:`~repro.traceback.sink.TracebackSink` with the pipeline a
+production deployment needs::
+
+    submit() ──▶ IngestQueue ──▶ VerificationPool ──▶ sink.ingest()
+                 (backpressure)   (cache-accelerated,  (arrival order,
+                                   optionally parallel) single thread)
+
+Verification is the expensive, stateless half of packet processing and
+runs out of line through a :class:`~repro.service.pool.VerificationPool`
+whose verifier shares the sink's scheme/keys but resolves through a
+:class:`~repro.service.cache.ResolverCache`.  Merging results into the
+precedence graph is cheap and stateful and always happens serially in
+arrival order, so the service's verdicts are identical to feeding the
+same stream through ``sink.receive`` one packet at a time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.isolation.revocation import RevocationList, RevocationRecord
+from repro.packets.packet import MarkedPacket
+from repro.service.cache import CachingResolver, ResolverCache
+from repro.service.pool import VerificationPool
+from repro.service.queue import DropPolicy, IngestQueue
+from repro.service.stats import LatencyHistogram, ServiceStats
+from repro.traceback.sink import TracebackSink, TracebackVerdict
+from repro.traceback.verify import PacketVerification, PacketVerifier
+
+__all__ = ["SinkIngestService"]
+
+
+class SinkIngestService:
+    """High-throughput ingest front end for a traceback sink.
+
+    Args:
+        sink: the sink to feed.  Its scheme, key table, provider and
+            resolver are reused; the sink itself is only ever touched from
+            :meth:`process_batch`'s merge step, in arrival order.
+        capacity: ingest queue bound (see :class:`IngestQueue`).
+        drop_policy: what a full queue sheds (see :class:`DropPolicy`).
+        workers: verification pool threads; ``0`` (default) is serial.
+        chunk_size: packets per pool work item.
+        enable_cache: memoize resolution tables and keep the marker
+            hot-set (see :class:`ResolverCache`).  The hot-set engages
+            only when the sink's verifier has its exhaustive fallback (the
+            default), which is what keeps cached verdicts identical to
+            serial ones.
+        table_capacity / hot_capacity: cache bounds.
+        revocations: when given, the service subscribes to it and
+            invalidates cached state for every newly revoked node.
+    """
+
+    def __init__(
+        self,
+        sink: TracebackSink,
+        capacity: int = 1024,
+        drop_policy: DropPolicy = DropPolicy.DROP_NEWEST,
+        workers: int = 0,
+        chunk_size: int = 32,
+        enable_cache: bool = True,
+        table_capacity: int = 256,
+        hot_capacity: int = 256,
+        revocations: RevocationList | None = None,
+    ):
+        self.sink = sink
+        base = sink.verifier
+        self.cache: ResolverCache | None = (
+            ResolverCache(
+                base.scheme,
+                base.keystore,
+                base.provider,
+                table_capacity=table_capacity,
+                hot_capacity=hot_capacity,
+            )
+            if enable_cache
+            else None
+        )
+        # The hot-set narrows the search space, which is only sound under
+        # the exhaustive-fallback safety net; without it, keep the sink's
+        # resolver untouched and use the cache for table memoization only.
+        use_hot_set = self.cache is not None and base.exhaustive_fallback
+        resolver = (
+            CachingResolver(base.resolver, self.cache)
+            if use_hot_set
+            else base.resolver
+        )
+        self.verifier = PacketVerifier(
+            base.scheme,
+            base.keystore,
+            base.provider,
+            resolver=resolver,
+            exhaustive_fallback=base.exhaustive_fallback,
+            table_factory=(
+                self.cache.resolution_table if self.cache is not None else None
+            ),
+        )
+        self.queue: IngestQueue[tuple[MarkedPacket, int]] = IngestQueue(
+            capacity=capacity, policy=drop_policy
+        )
+        self.pool = VerificationPool(
+            self.verifier, workers=workers, chunk_size=chunk_size
+        )
+        self.verify_latency = LatencyHistogram()
+        self.processed = 0
+        self.batches = 0
+        self._closed = False
+        if revocations is not None:
+            revocations.subscribe(self._on_revoked)
+
+    # Intake ------------------------------------------------------------------
+
+    def submit(self, packet: MarkedPacket, delivering_node: int) -> bool:
+        """Offer one suspicious packet to the pipeline.
+
+        Returns:
+            True if the packet was queued; False if backpressure shed it.
+
+        Raises:
+            RuntimeError: if the service has been closed.
+        """
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed SinkIngestService")
+        return self.queue.offer((packet, delivering_node))
+
+    # Processing --------------------------------------------------------------
+
+    def process_batch(self, max_packets: int | None = None) -> int:
+        """Drain up to ``max_packets`` queued packets through verification.
+
+        With pool workers, verification fans out in chunks and the results
+        merge into the sink serially in arrival order afterwards; the
+        cache's hot-set learns newly verified markers between batches,
+        never during one (the pool's thread-safety contract).  Serially
+        (``workers`` 0/1) each packet verifies and merges in turn, so the
+        hot-set warms after the very first packet of a stream.
+
+        Returns:
+            The number of packets processed.
+        """
+        items = self.queue.take(max_packets)
+        if not items:
+            return 0
+        total = len(items)
+        start = time.perf_counter()
+        if self.pool.is_parallel:
+            if (
+                self.cache is not None
+                and len(items) > 1
+                and self.cache.hot_ids() is None
+            ):
+                # Cold hot-set: verify the first packet serially so the
+                # rest of the batch fans out with a warm search space.
+                packet, delivering_node = items.pop(0)
+                self._merge(self.verifier.verify(packet), delivering_node)
+            verifications = self.pool.verify_batch(
+                [packet for packet, _ in items]
+            )
+            for (_, delivering_node), verification in zip(items, verifications):
+                self._merge(verification, delivering_node)
+        else:
+            for packet, delivering_node in items:
+                self._merge(self.verifier.verify(packet), delivering_node)
+        elapsed = time.perf_counter() - start
+        self.verify_latency.observe(elapsed / total, times=total)
+        self.processed += total
+        self.batches += 1
+        return total
+
+    def _merge(
+        self, verification: PacketVerification, delivering_node: int
+    ) -> None:
+        """Fold one verification into the sink and teach the hot-set."""
+        self.sink.ingest(verification, delivering_node)
+        if self.cache is not None and verification.chain_ids:
+            self.cache.touch(verification.chain_ids)
+
+    def flush(self) -> int:
+        """Process until the queue is empty; returns packets processed."""
+        total = 0
+        while True:
+            processed = self.process_batch()
+            if processed == 0:
+                return total
+            total += processed
+
+    def verdict(self) -> TracebackVerdict:
+        """Flush, then return the sink's aggregate verdict."""
+        self.flush()
+        return self.sink.verdict()
+
+    # Lifecycle ---------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> int:
+        """Shut the pipeline down.
+
+        Args:
+            drain: process everything still queued first (default); when
+                False, queued packets are discarded and counted as taken.
+
+        Returns:
+            Packets processed during the final drain.
+        """
+        if self._closed:
+            return 0
+        drained = self.flush() if drain else 0
+        if not drain:
+            self.queue.take()
+        self.queue.close()
+        self.pool.shutdown()
+        self._closed = True
+        return drained
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SinkIngestService":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close(drain=exc_type is None)
+
+    # Observability -----------------------------------------------------------
+
+    def _on_revoked(self, record: RevocationRecord) -> None:
+        if self.cache is not None:
+            self.cache.invalidate_node(record.node_id)
+
+    def stats(self) -> ServiceStats:
+        """A consistent observability snapshot of the whole pipeline."""
+        queue_stats = self.queue.stats()
+        return ServiceStats(
+            submitted=queue_stats["offered"],
+            accepted=queue_stats["accepted"],
+            dropped=queue_stats["dropped_newest"] + queue_stats["dropped_oldest"],
+            processed=self.processed,
+            batches=self.batches,
+            workers=self.pool.workers,
+            queue=queue_stats,
+            cache=self.cache.stats() if self.cache is not None else None,
+            verify_latency=self.verify_latency.as_dict(),
+        )
+
+    def stats_json(self, indent: int | None = None) -> str:
+        """The :meth:`stats` snapshot rendered as JSON."""
+        return self.stats().to_json(indent=indent)
+
+    def __repr__(self) -> str:
+        return (
+            f"SinkIngestService(queue={self.queue.depth}/{self.queue.capacity}, "
+            f"processed={self.processed}, workers={self.pool.workers}, "
+            f"cache={'on' if self.cache is not None else 'off'})"
+        )

@@ -1,0 +1,96 @@
+"""Parallel packet verification with a deterministic serial fallback.
+
+Verification of distinct packets is independent -- it reads only the
+scheme, key table and provider -- so a batch can fan out across workers.
+The crypto is pure-Python ``hmac``/``hashlib`` over short buffers, which
+holds the GIL, so thread workers mostly help when the MAC provider (or a
+future C/accelerator provider) releases it; ``workers=0`` therefore runs
+serial-inline and is the default.  Results always come back in submission
+order, so downstream merging into the precedence graph is deterministic
+regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.packets.packet import MarkedPacket
+from repro.traceback.verify import PacketVerification, PacketVerifier
+
+__all__ = ["VerificationPool"]
+
+
+class VerificationPool:
+    """Chunked batch verification over an optional thread pool.
+
+    Args:
+        verifier: the verifier applied to every packet.  With workers it
+            must be safe to call concurrently -- true for the stock
+            resolvers and for :class:`repro.service.CachingResolver` as
+            long as hot-set updates happen between batches (the ingest
+            service's contract).
+        workers: worker threads; ``0`` or ``1`` verifies serially inline.
+        chunk_size: packets per submitted work item -- large enough to
+            amortize future/queue overhead, small enough to load-balance.
+    """
+
+    def __init__(
+        self, verifier: PacketVerifier, workers: int = 0, chunk_size: int = 32
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.verifier = verifier
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._executor: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-verify"
+            )
+            if workers > 1
+            else None
+        )
+
+    @property
+    def is_parallel(self) -> bool:
+        return self._executor is not None
+
+    def verify_batch(
+        self, packets: Sequence[MarkedPacket]
+    ) -> list[PacketVerification]:
+        """Verify ``packets``, returning results in submission order."""
+        items = list(packets)
+        if self._executor is None or len(items) <= self.chunk_size:
+            return self.verifier.verify_batch(items)
+        chunks = [
+            items[i : i + self.chunk_size]
+            for i in range(0, len(items), self.chunk_size)
+        ]
+        futures = [
+            self._executor.submit(self.verifier.verify_batch, chunk)
+            for chunk in chunks
+        ]
+        results: list[PacketVerification] = []
+        for future in futures:  # submission order == arrival order
+            results.extend(future.result())
+        return results
+
+    def shutdown(self) -> None:
+        """Stop the workers; the pool must not be used afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    def stats(self) -> dict[str, Any]:
+        """The pool's configuration as a JSON-ready dict."""
+        return {
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "parallel": self.is_parallel,
+        }
+
+    def __repr__(self) -> str:
+        mode = f"workers={self.workers}" if self.is_parallel else "serial"
+        return f"VerificationPool({mode}, chunk_size={self.chunk_size})"

@@ -1,0 +1,143 @@
+"""Bounded ingest queue with explicit backpressure accounting.
+
+A production sink cannot buffer unboundedly: when suspicious traffic
+arrives faster than verification drains it, something must give, and the
+operator must be able to see exactly how much gave.  The queue therefore
+has a hard capacity, a drop policy chosen at construction, and exact
+counters for every shed packet.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Any, Generic, TypeVar
+
+__all__ = ["DropPolicy", "IngestQueue"]
+
+T = TypeVar("T")
+
+
+class DropPolicy(enum.Enum):
+    """What a full queue does with the next offered item.
+
+    ``DROP_NEWEST`` rejects the incoming item (tail drop): the sink keeps
+    the oldest evidence, which preserves arrival-order semantics for what
+    it has already accepted.  ``DROP_OLDEST`` evicts the head to admit the
+    newcomer: the sink tracks the freshest traffic, useful when moles are
+    expected to move and stale packets lose value.
+    """
+
+    DROP_NEWEST = "drop-newest"
+    DROP_OLDEST = "drop-oldest"
+
+
+class IngestQueue(Generic[T]):
+    """A thread-safe bounded FIFO with drop-policy backpressure.
+
+    Args:
+        capacity: maximum queued items; offers beyond it invoke ``policy``.
+        policy: see :class:`DropPolicy`.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, policy: DropPolicy = DropPolicy.DROP_NEWEST
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+        # Exact backpressure accounting.
+        self.offered = 0
+        self.accepted = 0
+        self.dropped_newest = 0
+        self.dropped_oldest = 0
+        self.taken = 0
+        self.high_water = 0
+
+    def offer(self, item: T) -> bool:
+        """Enqueue ``item``, applying the drop policy when full.
+
+        Returns:
+            True if ``item`` entered the queue (under ``DROP_OLDEST`` this
+            may have evicted the head), False if it was shed.
+
+        Raises:
+            RuntimeError: if the queue has been closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot offer to a closed IngestQueue")
+            self.offered += 1
+            if len(self._items) >= self.capacity:
+                if self.policy is DropPolicy.DROP_NEWEST:
+                    self.dropped_newest += 1
+                    return False
+                self._items.popleft()
+                self.dropped_oldest += 1
+            self._items.append(item)
+            self.accepted += 1
+            self.high_water = max(self.high_water, len(self._items))
+            return True
+
+    def take(self, max_items: int | None = None) -> list[T]:
+        """Dequeue up to ``max_items`` items (all queued when ``None``)."""
+        if max_items is not None and max_items < 0:
+            raise ValueError(f"max_items must be >= 0, got {max_items}")
+        with self._lock:
+            count = len(self._items)
+            if max_items is not None:
+                count = min(count, max_items)
+            batch = [self._items.popleft() for _ in range(count)]
+            self.taken += len(batch)
+            return batch
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Total items shed by backpressure, either policy."""
+        return self.dropped_newest + self.dropped_oldest
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Refuse further offers; queued items can still be taken."""
+        with self._lock:
+            self._closed = True
+
+    def stats(self) -> dict[str, Any]:
+        """The queue's counters as a JSON-ready dict."""
+        with self._lock:
+            depth = len(self._items)
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy.value,
+            "depth": depth,
+            "high_water": self.high_water,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "dropped_newest": self.dropped_newest,
+            "dropped_oldest": self.dropped_oldest,
+            "taken": self.taken,
+            "closed": self._closed,
+        }
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestQueue(depth={self.depth}/{self.capacity}, "
+            f"policy={self.policy.value}, dropped={self.dropped})"
+        )

@@ -1,0 +1,144 @@
+"""Observability surface of the ingest service.
+
+Every component of the pipeline keeps its own counters; the service
+assembles them into a single :class:`ServiceStats` snapshot that renders
+to JSON for dashboards and the throughput bench.  Latencies go into a
+fixed-bucket logarithmic histogram -- constant memory no matter how many
+packets flow through, which is the point of running as a service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["LatencyHistogram", "ServiceStats"]
+
+#: Default histogram range: 1 microsecond to ~16 seconds in powers of two.
+_MIN_BUCKET = 1e-6
+_NUM_BUCKETS = 24
+
+
+class LatencyHistogram:
+    """A log-bucketed latency histogram (seconds).
+
+    Buckets are powers of two starting at ``min_bucket``; observations
+    above the last bound land in an overflow bucket.  Thread-safe.
+    """
+
+    def __init__(
+        self, min_bucket: float = _MIN_BUCKET, num_buckets: int = _NUM_BUCKETS
+    ):
+        if min_bucket <= 0:
+            raise ValueError(f"min_bucket must be positive, got {min_bucket}")
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self._bounds = [min_bucket * (2.0**i) for i in range(num_buckets)]
+        self._counts = [0] * (num_buckets + 1)  # +1 overflow
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float, times: int = 1) -> None:
+        """Record ``times`` observations of ``seconds`` each."""
+        if times < 1:
+            return
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if seconds <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += times
+            self.count += times
+            self.total += seconds * times
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank:
+                return self._bounds[i] if i < len(self._bounds) else self.max
+        return self.max
+
+    def as_dict(self) -> dict[str, Any]:
+        """Summary plus the non-empty buckets (``le`` upper bounds)."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+        return {
+            "count": count,
+            "mean_s": self.mean,
+            "min_s": self.min if count else 0.0,
+            "max_s": self.max,
+            "p50_s": self.quantile(0.5),
+            "p90_s": self.quantile(0.9),
+            "p99_s": self.quantile(0.99),
+            "buckets": [
+                {"le_s": self._bounds[i] if i < len(self._bounds) else None,
+                 "count": c}
+                for i, c in enumerate(counts)
+                if c
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One observability snapshot of the whole ingest pipeline.
+
+    Attributes:
+        submitted: packets offered to the service.
+        accepted: packets that entered the queue.
+        dropped: packets shed by backpressure (any policy).
+        processed: packets verified and merged into the sink.
+        batches: number of verification batches executed.
+        workers: verification pool size (0 = serial).
+        queue: the ingest queue's counters.
+        cache: the resolver cache's counters (``None`` when disabled).
+        verify_latency: per-packet verification latency histogram summary.
+    """
+
+    submitted: int
+    accepted: int
+    dropped: int
+    processed: int
+    batches: int
+    workers: int
+    queue: dict[str, Any]
+    cache: dict[str, Any] | None
+    verify_latency: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The snapshot as a JSON-ready dict."""
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "processed": self.processed,
+            "batches": self.batches,
+            "workers": self.workers,
+            "queue": self.queue,
+            "cache": self.cache,
+            "verify_latency": self.verify_latency,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent)

@@ -42,6 +42,13 @@ class NetworkSimulation:
             traceback (Section 7, "Background Traffic"); default: all.
         tracer: optional :class:`~repro.sim.tracing.PacketTracer` that
             records every packet lifecycle event for debugging.
+        ingest: optional ingest pipeline (anything with
+            ``submit(packet, delivering_node)``, e.g.
+            :class:`repro.service.SinkIngestService`).  When set,
+            suspicious deliveries are submitted there instead of calling
+            ``sink.receive`` inline, and :meth:`run` flushes the pipeline
+            after the event queue drains so the sink's verdict reflects
+            every delivered packet.
     """
 
     def __init__(
@@ -55,6 +62,7 @@ class NetworkSimulation:
         metrics: MetricsCollector | None = None,
         suspicious: Callable[[MarkedPacket], bool] | None = None,
         tracer: PacketTracer | None = None,
+        ingest: object | None = None,
     ):
         self.topology = topology
         self.routing = routing
@@ -65,6 +73,7 @@ class NetworkSimulation:
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.suspicious = suspicious if suspicious is not None else (lambda _: True)
         self.tracer = tracer
+        self.ingest = ingest
         self.sim = Simulator()
         self.delivered: list[MarkedPacket] = []
         self._quarantined: set[int] = set()
@@ -183,13 +192,24 @@ class NetworkSimulation:
         self._trace("deliver", delivering_node, packet)
         self.delivered.append(packet)
         if self.suspicious(packet):
-            self.sink.receive(packet, delivering_node)
+            if self.ingest is not None:
+                self.ingest.submit(packet, delivering_node)
+            else:
+                self.sink.receive(packet, delivering_node)
 
     # Execution ---------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Drain scheduled traffic (see :meth:`Simulator.run`)."""
+        """Drain scheduled traffic (see :meth:`Simulator.run`).
+
+        When an ingest pipeline is attached, it is flushed afterwards so
+        every delivered packet has reached the sink.
+        """
         self.sim.run(until=until, max_events=max_events)
+        if self.ingest is not None:
+            flush = getattr(self.ingest, "flush", None)
+            if flush is not None:
+                flush()
 
     def __repr__(self) -> str:
         return (

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.packets.packet import MarkedPacket
 from repro.sim.behaviors import ForwardingBehavior
 from repro.sim.metrics import MetricsCollector
 from repro.sim.sources import ReportSource

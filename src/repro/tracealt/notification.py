@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.keys import KeyStore
 from repro.crypto.mac import MacProvider

@@ -27,7 +27,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.net.topology import Topology
 from repro.traceback.localize import SuspectNeighborhood
 from repro.traceback.reconstruct import PrecedenceGraph
 from repro.traceback.sink import TracebackSink

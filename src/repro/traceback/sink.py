@@ -93,7 +93,24 @@ class TracebackSink:
         Returns:
             The per-packet verification outcome.
         """
-        verification = self.verifier.verify(packet)
+        return self.ingest(self.verifier.verify(packet), delivering_node)
+
+    def ingest(
+        self, verification: PacketVerification, delivering_node: int
+    ) -> PacketVerification:
+        """Fold an already-computed verification into the sink's state.
+
+        The batch-safe half of :meth:`receive`: the ingest service
+        (:mod:`repro.service`) verifies packets out of line -- cached
+        and possibly in parallel -- and merges the results here in
+        arrival order.  Calling this with ``verifier.verify(packet)`` is
+        exactly :meth:`receive`.
+
+        Args:
+            verification: the outcome of verifying one packet.
+            delivering_node: the sink's radio neighbor that handed the
+                packet over.
+        """
         self.packets_received += 1
         self.fallback_searches += verification.fallback_searches
         self.precedence.add_chain(verification.chain_ids)

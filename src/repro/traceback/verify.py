@@ -17,6 +17,7 @@ Two policies, selected by the scheme:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.crypto.keys import KeyStore
@@ -101,6 +102,12 @@ class PacketVerifier:
         exhaustive_fallback: when a bounded resolver finds no validating
             candidate, retry with the full key table (recommended: bounded
             search is an optimization and must not change results).
+        table_factory: optional ``packet -> resolution table`` hook used
+            for exhaustive searches instead of building the table inline.
+            Lets an ingest service memoize tables across packets (see
+            :class:`repro.service.ResolverCache`); the callable must return
+            exactly what ``scheme.build_resolution_table(packet, keystore,
+            provider)`` would.
     """
 
     def __init__(
@@ -110,25 +117,29 @@ class PacketVerifier:
         provider: MacProvider,
         resolver: Resolver | None = None,
         exhaustive_fallback: bool = True,
+        table_factory: Callable[[MarkedPacket], object | None] | None = None,
     ):
         self.scheme = scheme
         self.keystore = keystore
         self.provider = provider
         self.resolver = resolver if resolver is not None else ExhaustiveResolver()
         self.exhaustive_fallback = exhaustive_fallback
+        self.table_factory = table_factory
 
     def verify(self, packet: MarkedPacket) -> PacketVerification:
         """Verify all marks of ``packet`` backwards."""
         result = PacketVerification(packet=packet)
-        # The exhaustive resolution table depends only on the packet, so it
-        # is built at most once and shared across this packet's marks.
-        exhaustive_table: object | None = None
+        # A resolution table depends only on the packet and the searched ID
+        # set, so each distinct search set's table is built at most once and
+        # shared across this packet's marks (the exhaustive table under the
+        # ``None`` key, bounded-search tables under their ID tuple).
+        tables: dict[tuple[int, ...] | None, object | None] = {}
 
         prev_verified: int | None = None
         for index in range(len(packet.marks) - 1, -1, -1):
             search = self.resolver.search_ids(packet, prev_verified)
-            valid_ids, used_fallback, exhaustive_table = self._validate_mark(
-                packet, index, search, exhaustive_table
+            valid_ids, used_fallback = self._validate_mark(
+                packet, index, search, tables
             )
             if used_fallback:
                 result.fallback_searches += 1
@@ -152,40 +163,62 @@ class PacketVerifier:
                 # marker, which prev_verified already holds.
         return result
 
+    def verify_batch(
+        self, packets: Sequence[MarkedPacket]
+    ) -> list[PacketVerification]:
+        """Verify many packets; results are returned in input order.
+
+        The entry point batch processors parallelize over: per-packet
+        verification reads only immutable state (scheme, key table,
+        provider), so distinct packets may be verified concurrently as
+        long as the resolver and ``table_factory`` tolerate concurrent
+        calls (see :mod:`repro.service`).
+        """
+        return [self.verify(packet) for packet in packets]
+
+    def _table_for(
+        self,
+        packet: MarkedPacket,
+        search: list[int] | None,
+        tables: dict[tuple[int, ...] | None, object | None],
+    ) -> object | None:
+        """The memoized resolution table for one search set (or ``None``)."""
+        key = None if search is None else tuple(search)
+        if key not in tables:
+            if search is None and self.table_factory is not None:
+                tables[key] = self.table_factory(packet)
+            else:
+                tables[key] = self.scheme.build_resolution_table(
+                    packet, self.keystore, self.provider, search_ids=search
+                )
+        return tables[key]
+
     def _validate_mark(
         self,
         packet: MarkedPacket,
         index: int,
         search: list[int] | None,
-        exhaustive_table: object | None,
-    ) -> tuple[list[int], bool, object | None]:
+        tables: dict[tuple[int, ...] | None, object | None],
+    ) -> tuple[list[int], bool]:
         """Find every node ID whose key validates mark ``index``.
 
-        Returns ``(valid_ids, used_fallback, exhaustive_table)`` where the
-        table is cached across calls for exhaustive searches.
+        Returns ``(valid_ids, used_fallback)``; resolution tables are
+        memoized in ``tables`` across this packet's marks.
         """
-        if search is None:
-            if exhaustive_table is None:
-                exhaustive_table = self.scheme.build_resolution_table(
-                    packet, self.keystore, self.provider
-                )
-            valid = self._validate_within(packet, index, None, exhaustive_table)
-            return valid, False, exhaustive_table
-        valid = self._validate_within(packet, index, search, None)
-        if valid or not self.exhaustive_fallback:
-            return valid, False, exhaustive_table
-        if exhaustive_table is None:
-            exhaustive_table = self.scheme.build_resolution_table(
-                packet, self.keystore, self.provider
-            )
-        valid = self._validate_within(packet, index, None, exhaustive_table)
+        table = self._table_for(packet, search, tables)
+        valid = self._validate_within(packet, index, search, table)
+        if search is None or valid or not self.exhaustive_fallback:
+            return valid, False
+        valid = self._validate_within(
+            packet, index, None, self._table_for(packet, None, tables)
+        )
         if valid:
             # The bounded search missed a mark the exhaustive one found:
             # adaptive resolvers use this to widen their ball.
             notify = getattr(self.resolver, "notify_miss", None)
             if notify is not None:
                 notify()
-        return valid, True, exhaustive_table
+        return valid, True
 
     def _validate_within(
         self,

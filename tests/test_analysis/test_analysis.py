@@ -1,6 +1,5 @@
 """Analytical models: closed forms vs Monte Carlo, cost model."""
 
-import math
 import random
 
 import pytest

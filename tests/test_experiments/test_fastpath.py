@@ -125,7 +125,6 @@ class TestAgreementWithObjectPipeline:
     """The fastpath must be statistically identical to the real stack."""
 
     def _object_level_identification_times(self, n, p, packets, runs):
-        import random as _random
 
         from repro.core.build import build_scenario
         from repro.core.scenario import Scenario

@@ -1,6 +1,5 @@
 """Baseline schemes: PPM, extended AMS, partially nested (Theorem 3)."""
 
-import pytest
 
 from repro.marking.ams import ExtendedAMS
 from repro.marking.plain import PPMMarking

@@ -1,6 +1,5 @@
 """Property-based invariants: wire formats, precedence graphs, PNM."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

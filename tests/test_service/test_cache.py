@@ -1,0 +1,152 @@
+"""ResolverCache: table memoization, hot-set learning, invalidation."""
+
+import pytest
+
+from repro.crypto.mac import HmacProvider
+from repro.isolation import RevocationList
+from repro.marking.pnm import PNMMarking
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.service import CachingResolver, ResolverCache
+from repro.traceback.resolver import ExhaustiveResolver, TopologyBoundedResolver
+from repro.net.topology import linear_path_topology
+
+PROVIDER = HmacProvider()
+SCHEME = PNMMarking(mark_prob=1.0)
+
+
+def packet_for(timestamp: int) -> MarkedPacket:
+    return MarkedPacket(
+        report=Report(event=b"cache", location=(0.0, 0.0), timestamp=timestamp)
+    )
+
+
+@pytest.fixture
+def cache(keystore) -> ResolverCache:
+    return ResolverCache(SCHEME, keystore, PROVIDER, table_capacity=4)
+
+
+class TestTableMemo:
+    def test_same_report_hits(self, cache, keystore):
+        packet = packet_for(1)
+        first = cache.resolution_table(packet)
+        second = cache.resolution_table(packet)
+        assert first is second
+        assert cache.table_hits == 1
+        assert cache.table_misses == 1
+
+    def test_distinct_reports_miss(self, cache):
+        cache.resolution_table(packet_for(1))
+        cache.resolution_table(packet_for(2))
+        assert cache.table_misses == 2
+        assert cache.table_hits == 0
+
+    def test_table_matches_direct_build(self, cache, keystore):
+        packet = packet_for(3)
+        expected = SCHEME.build_resolution_table(packet, keystore, PROVIDER)
+        assert cache.resolution_table(packet) == expected
+
+    def test_lru_eviction(self, cache):
+        for t in range(6):  # capacity 4
+            cache.resolution_table(packet_for(t))
+        assert cache.table_evictions == 2
+        # Oldest entries are gone: re-requesting them misses again.
+        cache.resolution_table(packet_for(0))
+        assert cache.table_misses == 7
+
+
+class TestHotSet:
+    def test_empty_hot_set_is_none(self, cache):
+        assert cache.hot_ids() is None
+
+    def test_touch_and_snapshot(self, cache):
+        cache.touch([5, 3, 9])
+        assert cache.hot_ids() == [3, 5, 9]
+
+    def test_snapshot_reused_until_membership_changes(self, cache):
+        cache.touch([1, 2])
+        first = cache.hot_ids()
+        cache.touch([2, 1])  # LRU refresh only, same membership
+        assert cache.hot_ids() is first
+        cache.touch([7])
+        assert cache.hot_ids() == [1, 2, 7]
+
+    def test_lru_eviction_of_cold_markers(self, keystore):
+        cache = ResolverCache(SCHEME, keystore, PROVIDER, hot_capacity=3)
+        cache.touch([1, 2, 3])
+        cache.touch([4])  # evicts 1, the least recently seen
+        assert cache.hot_ids() == [2, 3, 4]
+
+
+class TestInvalidation:
+    def test_invalidate_node_clears_tables_and_hot_entry(self, cache):
+        cache.resolution_table(packet_for(1))
+        cache.touch([2, 5])
+        cache.invalidate_node(5)
+        assert cache.hot_ids() == [2]
+        assert cache.invalidations == 1
+        # Tables were purged: same report misses again.
+        cache.resolution_table(packet_for(1))
+        assert cache.table_misses == 2
+
+    def test_revocation_list_subscription(self, cache):
+        revocations = RevocationList()
+        revocations.subscribe(
+            lambda record: cache.invalidate_node(record.node_id)
+        )
+        cache.touch([4, 8])
+        revocations.revoke(8, reason="test evidence")
+        assert cache.hot_ids() == [4]
+        revocations.revoke(8, reason="again")  # re-revocation: no re-fire
+        assert cache.invalidations == 1
+
+    def test_clear(self, cache):
+        cache.resolution_table(packet_for(1))
+        cache.touch([1])
+        cache.clear()
+        assert cache.hot_ids() is None
+        cache.resolution_table(packet_for(1))
+        assert cache.table_misses == 2
+
+    def test_stats_dict(self, cache):
+        cache.resolution_table(packet_for(1))
+        cache.resolution_table(packet_for(1))
+        cache.touch([1, 2])
+        stats = cache.stats()
+        assert stats["table_hit_rate"] == 0.5
+        assert stats["hot_size"] == 2
+        assert stats["tables_cached"] == 1
+
+
+class TestCachingResolver:
+    def test_passes_bounded_inner_through(self, cache):
+        topo, _source = linear_path_topology(5)
+        inner = TopologyBoundedResolver(topo, radius=1)
+        resolver = CachingResolver(inner, cache)
+        cache.touch([99])
+        packet = packet_for(1)
+        assert resolver.search_ids(packet, 3) == inner.search_ids(packet, 3)
+
+    def test_offers_hot_set_for_exhaustive_inner(self, cache):
+        resolver = CachingResolver(ExhaustiveResolver(), cache)
+        packet = packet_for(1)
+        assert resolver.search_ids(packet, None) is None  # cold
+        cache.touch([7, 2])
+        assert resolver.search_ids(packet, None) == [2, 7]
+        assert cache.hot_searches == 1
+
+    def test_notify_miss_counts_and_forwards(self, cache):
+        class Recorder:
+            notified = 0
+
+            def search_ids(self, packet, prev_verified):
+                return None
+
+            def notify_miss(self):
+                self.notified += 1
+
+        inner = Recorder()
+        resolver = CachingResolver(inner, cache)
+        resolver.notify_miss()
+        assert cache.hot_misses == 1
+        assert inner.notified == 1

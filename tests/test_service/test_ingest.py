@@ -1,0 +1,248 @@
+"""SinkIngestService end to end: equivalence, backpressure, lifecycle."""
+
+import json
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import HmacProvider
+from repro.isolation import RevocationList
+from repro.marking.pnm import PNMMarking
+from repro.net.topology import linear_path_topology
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.routing.tree import build_routing_tree
+from repro.service import DropPolicy, SinkIngestService
+from repro.sim.behaviors import HonestForwarder
+from repro.sim.network import NetworkSimulation
+from repro.sim.sources import BogusReportSource
+from repro.traceback.sink import TracebackSink
+from tests.conftest import ctx_for, mark_through_path
+
+PROVIDER = HmacProvider()
+SCHEME = PNMMarking(mark_prob=1.0)
+N_FORWARDERS = 6
+
+
+@pytest.fixture
+def deployment():
+    topology, source_id = linear_path_topology(N_FORWARDERS)
+    store = KeyStore.from_master_secret(b"ingest", topology.sensor_nodes())
+    return topology, store, source_id
+
+
+def stream(store, count, tamper_indices=()):
+    """``count`` marked packets along the chain, optionally tampered."""
+    forwarders = list(range(1, N_FORWARDERS + 1))
+    packets = []
+    for t in range(count):
+        packet = MarkedPacket(
+            report=Report(event=b"svc", location=(7.0, 0.0), timestamp=t)
+        )
+        packet = mark_through_path(SCHEME, store, PROVIDER, forwarders, packet)
+        if t in tamper_indices:
+            # Flip a byte of the most upstream mark's MAC.
+            mark = packet.marks[0]
+            broken = mark.__class__(
+                id_field=mark.id_field,
+                mac=bytes([mark.mac[0] ^ 0xFF]) + mark.mac[1:],
+            )
+            packet = packet.with_marks((broken,) + packet.marks[1:])
+        packets.append(packet)
+    return packets
+
+
+def make_sink(deployment):
+    topology, store, _source = deployment
+    return TracebackSink(SCHEME, store, PROVIDER, topology)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_verdicts_match_serial_sink(self, deployment, workers):
+        packets = stream(deployment[1], 12, tamper_indices={3, 7})
+        delivering = N_FORWARDERS
+
+        serial = make_sink(deployment)
+        for packet in packets:
+            serial.receive(packet, delivering)
+
+        sink = make_sink(deployment)
+        service = SinkIngestService(sink, capacity=64, workers=workers)
+        try:
+            for packet in packets:
+                assert service.submit(packet, delivering)
+            assert service.verdict() == serial.verdict()
+        finally:
+            service.close()
+        assert set(sink.precedence.to_networkx().edges) == set(
+            serial.precedence.to_networkx().edges
+        )
+        assert sink.packets_received == serial.packets_received
+        assert sink.tampered_packets == serial.tampered_packets
+        assert sink.chains_with_marks == serial.chains_with_marks
+
+    def test_cache_disabled_still_matches(self, deployment):
+        packets = stream(deployment[1], 6)
+        serial = make_sink(deployment)
+        sink = make_sink(deployment)
+        service = SinkIngestService(sink, enable_cache=False)
+        for packet in packets:
+            serial.receive(packet, N_FORWARDERS)
+            service.submit(packet, N_FORWARDERS)
+        assert service.verdict() == serial.verdict()
+        assert service.cache is None
+
+    def test_cache_actually_engages(self, deployment):
+        packets = stream(deployment[1], 8)
+        service = SinkIngestService(make_sink(deployment))
+        for packet in packets:
+            service.submit(packet, N_FORWARDERS)
+            service.process_batch()
+        stats = service.stats()
+        # After the first packet warms the hot-set, every mark of every
+        # later packet resolves from it without falling back.
+        assert stats.cache["hot_searches"] == (len(packets) - 1) * N_FORWARDERS
+        assert stats.cache["hot_misses"] == 0
+        assert stats.cache["hot_hit_rate"] == 1.0
+
+
+class TestBackpressure:
+    def test_drop_newest_sheds_excess_exactly(self, deployment):
+        service = SinkIngestService(make_sink(deployment), capacity=3)
+        packets = stream(deployment[1], 8)
+        outcomes = [service.submit(p, N_FORWARDERS) for p in packets]
+        assert outcomes == [True] * 3 + [False] * 5
+        stats = service.stats()
+        assert stats.dropped == 5
+        assert stats.queue["dropped_newest"] == 5
+        assert service.flush() == 3
+        assert service.sink.packets_received == 3
+        # The three oldest packets survived (arrival order preserved).
+        assert service.sink.packets_received == service.stats().processed
+
+    def test_drop_oldest_keeps_freshest(self, deployment):
+        service = SinkIngestService(
+            make_sink(deployment),
+            capacity=3,
+            drop_policy=DropPolicy.DROP_OLDEST,
+        )
+        packets = stream(deployment[1], 8)
+        assert all(service.submit(p, N_FORWARDERS) for p in packets)
+        stats = service.stats()
+        assert stats.queue["dropped_oldest"] == 5
+        assert service.flush() == 3
+
+    def test_queue_depth_visible_in_stats(self, deployment):
+        service = SinkIngestService(make_sink(deployment), capacity=10)
+        for packet in stream(deployment[1], 4):
+            service.submit(packet, N_FORWARDERS)
+        assert service.stats().queue["depth"] == 4
+        service.flush()
+        assert service.stats().queue["depth"] == 0
+        assert service.stats().queue["high_water"] == 4
+
+
+class TestLifecycle:
+    def test_close_drains_cleanly(self, deployment):
+        service = SinkIngestService(make_sink(deployment), capacity=16)
+        for packet in stream(deployment[1], 5):
+            service.submit(packet, N_FORWARDERS)
+        drained = service.close()
+        assert drained == 5
+        assert service.closed
+        assert service.sink.packets_received == 5
+        with pytest.raises(RuntimeError):
+            service.submit(stream(deployment[1], 1)[0], N_FORWARDERS)
+
+    def test_close_without_drain_discards(self, deployment):
+        service = SinkIngestService(make_sink(deployment), capacity=16)
+        for packet in stream(deployment[1], 5):
+            service.submit(packet, N_FORWARDERS)
+        assert service.close(drain=False) == 0
+        assert service.sink.packets_received == 0
+
+    def test_close_twice_is_noop(self, deployment):
+        service = SinkIngestService(make_sink(deployment))
+        assert service.close() == 0
+        assert service.close() == 0
+
+    def test_context_manager_drains(self, deployment):
+        sink = make_sink(deployment)
+        with SinkIngestService(sink, capacity=16) as service:
+            for packet in stream(deployment[1], 3):
+                service.submit(packet, N_FORWARDERS)
+        assert sink.packets_received == 3
+
+
+class TestObservability:
+    def test_stats_json_round_trip(self, deployment):
+        service = SinkIngestService(make_sink(deployment), capacity=8)
+        for packet in stream(deployment[1], 4):
+            service.submit(packet, N_FORWARDERS)
+        service.flush()
+        payload = json.loads(service.stats_json(indent=2))
+        assert payload["submitted"] == 4
+        assert payload["processed"] == 4
+        assert payload["queue"]["capacity"] == 8
+        assert payload["cache"]["hot_size"] == N_FORWARDERS
+        assert payload["verify_latency"]["count"] == 4
+        assert payload["verify_latency"]["mean_s"] > 0
+
+    def test_latency_histogram_percentiles(self, deployment):
+        service = SinkIngestService(make_sink(deployment))
+        for packet in stream(deployment[1], 6):
+            service.submit(packet, N_FORWARDERS)
+        service.flush()
+        latency = service.verify_latency
+        assert latency.count == 6
+        assert 0 < latency.quantile(0.5) <= latency.quantile(0.99)
+
+
+class TestRevocationInvalidation:
+    def test_revoking_a_node_purges_cached_state(self, deployment):
+        revocations = RevocationList()
+        service = SinkIngestService(
+            make_sink(deployment), revocations=revocations
+        )
+        for packet in stream(deployment[1], 3):
+            service.submit(packet, N_FORWARDERS)
+        service.flush()
+        assert service.cache.hot_ids() is not None
+        revocations.revoke(3, reason="identified mole")
+        assert 3 not in (service.cache.hot_ids() or [])
+        assert service.cache.stats()["tables_cached"] == 0
+        assert service.cache.invalidations == 1
+
+
+class TestSimIntegration:
+    def test_network_simulation_feeds_service(self, deployment):
+        topology, store, source_id = deployment
+        routing = build_routing_tree(topology)
+
+        def build(ingest_for_sink):
+            sink = TracebackSink(SCHEME, store, PROVIDER, topology)
+            behaviors = {
+                node: HonestForwarder(ctx_for(node, store, PROVIDER), SCHEME)
+                for node in range(1, N_FORWARDERS + 1)
+            }
+            service = ingest_for_sink(sink)
+            sim = NetworkSimulation(
+                topology, routing, behaviors, sink, ingest=service
+            )
+            source = BogusReportSource(
+                source_id, claimed_location=(7.0, 0.0), rng=random.Random(5)
+            )
+            sim.add_periodic_source(source, interval=1.0, count=20)
+            sim.run()
+            return sink, service
+
+        sink_direct, _ = build(lambda sink: None)
+        sink_service, service = build(
+            lambda sink: SinkIngestService(sink, capacity=64)
+        )
+        # run() flushed the pipeline: the sink saw every delivered packet.
+        assert sink_service.packets_received == 20
+        assert sink_service.verdict() == sink_direct.verdict()
+        assert service.stats().processed == 20

@@ -1,0 +1,94 @@
+"""VerificationPool: parallel results identical to serial, in order."""
+
+import pytest
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import HmacProvider
+from repro.marking.pnm import PNMMarking
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.service import VerificationPool
+from repro.traceback.verify import PacketVerifier
+from tests.conftest import mark_through_path
+
+PROVIDER = HmacProvider()
+SCHEME = PNMMarking(mark_prob=1.0)
+PATH = [4, 7, 2, 9]
+
+
+@pytest.fixture
+def store() -> KeyStore:
+    return KeyStore.from_master_secret(b"pool", range(1, 13))
+
+
+def make_packets(store: KeyStore, count: int) -> list[MarkedPacket]:
+    packets = []
+    for t in range(count):
+        packet = MarkedPacket(
+            report=Report(event=b"pool", location=(1.0, 1.0), timestamp=t)
+        )
+        packets.append(
+            mark_through_path(SCHEME, store, PROVIDER, PATH, packet)
+        )
+    return packets
+
+
+class TestSerialFallback:
+    def test_workers_zero_is_serial(self, store):
+        pool = VerificationPool(PacketVerifier(SCHEME, store, PROVIDER))
+        assert not pool.is_parallel
+
+    def test_workers_one_is_serial(self, store):
+        verifier = PacketVerifier(SCHEME, store, PROVIDER)
+        assert not VerificationPool(verifier, workers=1).is_parallel
+
+    def test_invalid_args(self, store):
+        verifier = PacketVerifier(SCHEME, store, PROVIDER)
+        with pytest.raises(ValueError):
+            VerificationPool(verifier, workers=-1)
+        with pytest.raises(ValueError):
+            VerificationPool(verifier, chunk_size=0)
+
+
+class TestParallelEquivalence:
+    def test_results_match_serial_in_order(self, store):
+        packets = make_packets(store, 9)
+        verifier = PacketVerifier(SCHEME, store, PROVIDER)
+        serial = verifier.verify_batch(packets)
+        pool = VerificationPool(verifier, workers=3, chunk_size=2)
+        try:
+            parallel = pool.verify_batch(packets)
+        finally:
+            pool.shutdown()
+        assert len(parallel) == len(serial)
+        for expected, got in zip(serial, parallel):
+            assert got.packet is expected.packet
+            assert got.chain_ids == expected.chain_ids == PATH
+            assert got.invalid_indices == expected.invalid_indices
+
+    def test_small_batch_runs_inline(self, store):
+        # Batches at or below one chunk skip the executor entirely.
+        verifier = PacketVerifier(SCHEME, store, PROVIDER)
+        pool = VerificationPool(verifier, workers=2, chunk_size=8)
+        try:
+            results = pool.verify_batch(make_packets(store, 3))
+        finally:
+            pool.shutdown()
+        assert [r.chain_ids for r in results] == [PATH] * 3
+
+    def test_empty_batch(self, store):
+        pool = VerificationPool(PacketVerifier(SCHEME, store, PROVIDER))
+        assert pool.verify_batch([]) == []
+
+    def test_stats(self, store):
+        pool = VerificationPool(
+            PacketVerifier(SCHEME, store, PROVIDER), workers=2, chunk_size=5
+        )
+        try:
+            assert pool.stats() == {
+                "workers": 2,
+                "chunk_size": 5,
+                "parallel": True,
+            }
+        finally:
+            pool.shutdown()

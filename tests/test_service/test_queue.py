@@ -1,0 +1,111 @@
+"""IngestQueue: bounded capacity, drop policies, exact backpressure counters."""
+
+import pytest
+
+from repro.service import DropPolicy, IngestQueue
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = IngestQueue(capacity=10)
+        for item in ["a", "b", "c"]:
+            assert queue.offer(item)
+        assert queue.take() == ["a", "b", "c"]
+
+    def test_take_max_items(self):
+        queue = IngestQueue(capacity=10)
+        for item in range(5):
+            queue.offer(item)
+        assert queue.take(2) == [0, 1]
+        assert queue.depth == 3
+        assert queue.take() == [2, 3, 4]
+
+    def test_take_empty(self):
+        assert IngestQueue(capacity=1).take() == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            IngestQueue(capacity=0)
+
+    def test_invalid_take(self):
+        with pytest.raises(ValueError):
+            IngestQueue(capacity=1).take(-1)
+
+
+class TestDropNewest:
+    def test_full_queue_rejects_offer(self):
+        queue = IngestQueue(capacity=4, policy=DropPolicy.DROP_NEWEST)
+        results = [queue.offer(i) for i in range(10)]
+        assert results == [True] * 4 + [False] * 6
+        # The oldest four survive.
+        assert queue.take() == [0, 1, 2, 3]
+
+    def test_exact_counters(self):
+        queue = IngestQueue(capacity=4, policy=DropPolicy.DROP_NEWEST)
+        for i in range(10):
+            queue.offer(i)
+        assert queue.offered == 10
+        assert queue.accepted == 4
+        assert queue.dropped_newest == 6
+        assert queue.dropped_oldest == 0
+        assert queue.dropped == 6
+        assert queue.depth == 4
+        assert queue.high_water == 4
+
+    def test_drains_then_accepts_again(self):
+        queue = IngestQueue(capacity=2, policy=DropPolicy.DROP_NEWEST)
+        queue.offer(1)
+        queue.offer(2)
+        assert not queue.offer(3)
+        queue.take()
+        assert queue.offer(4)
+        assert queue.take() == [4]
+
+
+class TestDropOldest:
+    def test_full_queue_evicts_head(self):
+        queue = IngestQueue(capacity=4, policy=DropPolicy.DROP_OLDEST)
+        results = [queue.offer(i) for i in range(10)]
+        assert all(results)  # the offered item always enters
+        # The newest four survive.
+        assert queue.take() == [6, 7, 8, 9]
+
+    def test_exact_counters(self):
+        queue = IngestQueue(capacity=4, policy=DropPolicy.DROP_OLDEST)
+        for i in range(10):
+            queue.offer(i)
+        assert queue.offered == 10
+        assert queue.accepted == 10
+        assert queue.dropped_oldest == 6
+        assert queue.dropped_newest == 0
+        assert queue.dropped == 6
+        assert queue.depth == 4
+
+
+class TestLifecycle:
+    def test_close_rejects_offers_but_allows_take(self):
+        queue = IngestQueue(capacity=4)
+        queue.offer("x")
+        queue.close()
+        assert queue.closed
+        with pytest.raises(RuntimeError):
+            queue.offer("y")
+        assert queue.take() == ["x"]
+
+    def test_high_water_tracks_peak_not_current(self):
+        queue = IngestQueue(capacity=10)
+        for i in range(7):
+            queue.offer(i)
+        queue.take()
+        assert queue.depth == 0
+        assert queue.high_water == 7
+
+    def test_stats_dict(self):
+        queue = IngestQueue(capacity=3, policy=DropPolicy.DROP_OLDEST)
+        queue.offer(1)
+        stats = queue.stats()
+        assert stats["capacity"] == 3
+        assert stats["policy"] == "drop-oldest"
+        assert stats["depth"] == 1
+        assert stats["offered"] == 1
+        assert not stats["closed"]

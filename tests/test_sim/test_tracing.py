@@ -6,7 +6,6 @@ import pytest
 
 from repro.crypto.keys import KeyStore
 from repro.crypto.mac import HmacProvider
-from repro.marking.base import NodeContext
 from repro.marking.pnm import PNMMarking
 from repro.net.links import LinkModel
 from repro.net.topology import linear_path_topology

@@ -7,8 +7,6 @@ import pytest
 from repro.crypto.pairwise import PairwiseKeyTable, derive_pairwise_key
 from repro.marking.base import NodeContext
 from repro.net.topology import linear_path_topology
-from repro.packets.packet import MarkedPacket
-from repro.packets.report import Report
 from repro.traceback.precision import (
     PairAwareNestedMarking,
     SuspectPair,
