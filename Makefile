@@ -1,12 +1,16 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test bench experiments experiments-full examples clean
+.PHONY: install test lint bench experiments experiments-full examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Protocol-invariant linter (see docs/lint.md).
+lint:
+	python -m repro.lint src/repro
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -63,7 +63,7 @@ class KeyStore(Mapping[int, bytes]):
       and for modelling heterogeneous deployments.
     """
 
-    def __init__(self, keys: Mapping[int, bytes]):
+    def __init__(self, keys: Mapping[int, bytes]) -> None:
         for node_id, key in keys.items():
             if node_id < 0:
                 raise ValueError(f"node_id must be non-negative, got {node_id}")

@@ -82,7 +82,7 @@ class HmacProvider:
         self,
         mac_len: int = DEFAULT_MAC_LEN,
         anon_id_len: int = DEFAULT_ANON_ID_LEN,
-    ):
+    ) -> None:
         if not 1 <= mac_len <= 32:
             raise ValueError(f"mac_len must be in [1, 32], got {mac_len}")
         if not 1 <= anon_id_len <= 32:
@@ -120,7 +120,7 @@ class NullMacProvider:
         self,
         mac_len: int = DEFAULT_MAC_LEN,
         anon_id_len: int = DEFAULT_ANON_ID_LEN,
-    ):
+    ) -> None:
         self.mac_len = mac_len
         self.anon_id_len = anon_id_len
 

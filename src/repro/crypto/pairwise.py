@@ -47,7 +47,9 @@ class PairwiseKeyTable:
     plus key-establishment phase such as LEAP).
     """
 
-    def __init__(self, master_secret: bytes, topology: Topology, node_id: int):
+    def __init__(
+        self, master_secret: bytes, topology: Topology, node_id: int
+    ) -> None:
         self.node_id = node_id
         self._keys = {
             nbr: derive_pairwise_key(master_secret, node_id, nbr)

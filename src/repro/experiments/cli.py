@@ -112,7 +112,7 @@ def main(argv: list[str] | None = None) -> int:
 
             try:
                 rendered += "\n" + render_figure_chart(result)
-            except ValueError:
+            except ValueError:  # noqa: S110 - chart is optional decoration
                 pass  # nothing numeric to chart (e.g. the security matrix)
         print(rendered)
         print()

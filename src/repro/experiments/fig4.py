@@ -41,7 +41,7 @@ def run(preset: Preset = QUICK, target_marks: float = 3.0) -> FigureResult:
         p = probability_for_target_marks(n, target_marks)
         notes.append(
             f"n={n}: 90% confidence at {packets_for_confidence(n, p, 0.9)} packets "
-            f"(paper: ~{dict(zip(PATH_LENGTHS, (13, 33, 54)))[n]})"
+            f"(paper: ~{dict(zip(PATH_LENGTHS, (13, 33, 54), strict=True))[n]})"
         )
     return FigureResult(
         figure_id="fig4",

@@ -60,7 +60,7 @@ def ascii_chart(
     grid = [[" "] * width for _ in range(height)]
     for idx, (label, ys) in enumerate(sorted(series.items())):
         glyph = glyphs[idx % len(glyphs)]
-        for xv, yv in zip(x, ys):
+        for xv, yv in zip(x, ys, strict=True):
             if yv != yv:  # NaN
                 continue
             col = round((xv - x_min) / (x_max - x_min) * (width - 1))

@@ -33,7 +33,7 @@ class FigureResult:
 
     def as_dicts(self) -> list[dict[str, Any]]:
         """Rows as dictionaries keyed by column headers."""
-        return [dict(zip(self.columns, row)) for row in self.rows]
+        return [dict(zip(self.columns, row, strict=True)) for row in self.rows]
 
     def render(self) -> str:
         """The figure as an ASCII table with a caption and notes."""

@@ -32,7 +32,7 @@ import random
 import struct
 from dataclasses import dataclass
 
-from repro.crypto.mac import MacProvider
+from repro.crypto.mac import MacProvider, constant_time_equal
 from repro.packets.packet import MarkedPacket
 from repro.packets.report import Report
 from repro.sim.behaviors import ForwardingBehavior
@@ -270,7 +270,7 @@ class SefFilterForwarder:
             if key is None:
                 continue  # cannot check this endorsement; SEF lets it pass
             expected = self.provider.mac(key, b"sef-endorse" + base)
-            if expected != endo.mac:
+            if not constant_time_equal(expected, endo.mac):
                 return False
         return True
 

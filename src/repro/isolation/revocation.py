@@ -47,19 +47,33 @@ class RevocationList:
         """Register a callback invoked once per *newly* revoked node.
 
         Listeners fire synchronously inside :meth:`revoke`, after the
-        record is stored; re-revocations do not re-fire.
+        record is stored; re-revocations do not re-fire.  A listener that
+        raises does not prevent the remaining listeners from firing.
         """
         self._listeners.append(listener)
 
     def revoke(self, node_id: int, reason: str, revoked_at: float = 0.0) -> None:
-        """Add a node; re-revoking keeps the earliest record."""
+        """Add a node; re-revoking keeps the earliest record.
+
+        Every subscribed listener is notified even if an earlier one
+        raises; the first exception is re-raised once all have fired.
+        Skipping notifications would desynchronize sink-side state (e.g. a
+        resolver cache still trusting a revoked node's key).
+        """
         if node_id not in self._records:
             record = RevocationRecord(
                 node_id=node_id, reason=reason, revoked_at=revoked_at
             )
             self._records[node_id] = record
+            first_error: Exception | None = None
             for listener in self._listeners:
-                listener(record)
+                try:
+                    listener(record)
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
 
     def is_revoked(self, node_id: int) -> bool:
         """Whether the node has been revoked."""

@@ -1,0 +1,49 @@
+"""``repro.lint``: AST-based protocol-invariant linter for this repository.
+
+The test suite proves the reproduction *behaves* like the paper; this
+package proves the code *stays shaped* like the paper's security argument.
+Invariants such as "MAC bytes are compared in constant time" (Section 3's
+nested MACs), "anonymous IDs are never logged next to plaintext node IDs
+outside the sink's resolver" (Section 4.1/4.2), and "the service layer
+holds its locks on every shared-state mutation" (``docs/service.md``'s
+determinism contract) are invisible to black-box tests: a timing leak or a
+set-iteration nondeterminism passes every functional assertion.  In the
+spirit of the algebraic-watchdog line of work, the checker itself must be
+mechanical -- so these invariants are enforced by walking the AST.
+
+Shipped rules:
+
+========  ==============================================================
+RL001     non-constant-time ``==``/``!=`` comparison of MAC/digest bytes
+RL002     ``random`` module in key-material paths (crypto/marking/adversary)
+RL003     plaintext node-ID leakage into mark constructors or log calls
+RL004     unsorted set/``dict.values()`` iteration in merge/precedence logic
+RL005     ``# guarded-by:`` attribute mutated outside its ``with <lock>:``
+RL006     wall-clock time in simulation logic that must use the engine clock
+========  ==============================================================
+
+Run ``python -m repro.lint src/repro`` (exit code 1 on findings); per-line
+suppressions use ``# lint: disable=RL001`` and grandfathered findings live
+in a committed baseline file (see :mod:`repro.lint.baseline`).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.findings import Finding, render_json, render_text
+from repro.lint.registry import Rule, all_rules, get_rules
+from repro.lint.walker import FileContext, iter_python_files, load_file
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rules",
+    "iter_python_files",
+    "lint_paths",
+    "load_file",
+    "render_json",
+    "render_text",
+]

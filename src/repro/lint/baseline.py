@@ -1,0 +1,97 @@
+"""Committed baseline for grandfathered findings.
+
+A baseline lets the linter gate CI from day one: pre-existing findings are
+recorded once (``--write-baseline``) and subtracted from later runs, so
+only *new* violations fail the build while the debt stays visible in a
+reviewed, committed file.  Entries are matched by ``(module path, rule,
+stripped source line)`` -- stable across unrelated line insertions -- and
+consumed multiset-style so adding a second identical violation on another
+line still fails.
+
+The shipped ``lint-baseline.json`` is empty: every true positive found
+while building the linter was fixed instead of grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Raises:
+            BaselineError: on malformed JSON or an unsupported version.
+        """
+        if not path.exists():
+            return cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(document, dict) or document.get("version") != _VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported format "
+                f"(expected version {_VERSION})"
+            )
+        entries: Counter = Counter()
+        for raw in document.get("entries", []):
+            try:
+                key = (raw["path"], raw["rule"], raw["snippet"])
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"baseline {path} has a malformed entry: {raw!r}"
+                ) from exc
+            entries[key] += int(raw.get("count", 1))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly ``findings``."""
+        return cls(entries=Counter(f.fingerprint() for f in findings))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline in its canonical, diff-friendly form."""
+        document = {
+            "version": _VERSION,
+            "entries": [
+                {"path": p, "rule": r, "snippet": s, "count": c}
+                for (p, r, s), c in sorted(self.entries.items())
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """The findings not covered by this baseline (multiset subtract)."""
+        remaining = Counter(self.entries)
+        fresh: list[Finding] = []
+        for finding in sorted(findings):
+            key = finding.fingerprint()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

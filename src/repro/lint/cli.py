@@ -1,0 +1,120 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes are CI-shaped: 0 clean, 1 findings (or unparseable files),
+2 usage errors (unknown rule, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import lint_paths
+from repro.lint.findings import render_json, render_text
+from repro.lint.registry import UnknownRuleError, all_rules, get_rules
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based protocol-invariant linter for the PNM reproduction "
+            "(constant-time crypto, determinism, lock discipline)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file even if present",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    try:
+        rules = (
+            get_rules([r.strip() for r in args.select.split(",") if r.strip()])
+            if args.select
+            else None
+        )
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    baseline: Baseline | None = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result = lint_paths([Path(p) for p in args.paths], rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.all_findings).save(baseline_path)
+        print(
+            f"wrote {len(result.all_findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result.findings, result.files_scanned))
+    else:
+        print(render_text(result.findings, result.files_scanned))
+    for path, reason in result.errors:
+        print(f"error: {path}: {reason}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

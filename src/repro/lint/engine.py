@@ -1,0 +1,83 @@
+"""The lint engine: walk files, run rules, apply suppressions and baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+from repro.lint.walker import ParseError, iter_python_files, load_file
+
+__all__ = ["LintResult", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: violations after suppressions and baseline filtering.
+        all_findings: violations after suppressions but before the
+            baseline (what ``--write-baseline`` records).
+        files_scanned: number of files parsed and checked.
+        errors: files that could not be parsed, with the reason.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    all_findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no findings, no parse errors)."""
+        return not self.findings and not self.errors
+
+
+def _display_path(path: Path, cwd: Path) -> str:
+    try:
+        return path.resolve().relative_to(cwd).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: list[Path],
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``.
+
+    Args:
+        paths: files or directories to scan.
+        rules: rules to run (default: every registered rule).
+        baseline: grandfathered findings to subtract (default: none).
+    """
+    active = rules if rules is not None else all_rules()
+    cwd = Path.cwd().resolve()
+    result = LintResult()
+    seen: set[Path] = set()
+    for root in paths:
+        for file_path in iter_python_files(root):
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                ctx = load_file(file_path, _display_path(file_path, cwd))
+            except ParseError as exc:
+                result.errors.append((file_path.as_posix(), str(exc)))
+                continue
+            result.files_scanned += 1
+            for rule in active:
+                for finding in rule.check(ctx):
+                    if not ctx.is_suppressed(finding.line, finding.rule_id):
+                        result.all_findings.append(finding)
+    result.all_findings.sort()
+    if baseline is not None:
+        result.findings = baseline.filter(result.all_findings)
+    else:
+        result.findings = list(result.all_findings)
+    return result

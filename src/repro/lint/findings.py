@@ -1,0 +1,71 @@
+"""Findings and report rendering (text and JSON, ``file:line`` anchored)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes:
+        path: path of the offending file as reported to the user
+            (repo-relative when linting from the repo root).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule_id: ``RLxxx`` identifier of the rule that fired.
+        message: human-readable explanation with the expected fix.
+        module_path: ``repro/...``-rooted path used for scoping and for
+            stable baseline matching (empty when the file is outside the
+            package tree and carries no ``# lint: module=`` directive).
+        snippet: the stripped source line, used for baseline fingerprints
+            that survive unrelated line drift.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    module_path: str = ""
+    snippet: str = ""
+
+    @property
+    def anchor(self) -> str:
+        """``path:line:col`` as editors and CI annotations expect it."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching: stable across line drift."""
+        return (self.module_path or self.path, self.rule_id, self.snippet)
+
+
+def render_text(findings: list[Finding], files_scanned: int) -> str:
+    """The human-facing report: one anchored line per finding + summary."""
+    lines = [
+        f"{f.anchor}: {f.rule_id} {f.message}" for f in sorted(findings)
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} in {files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_scanned: int) -> str:
+    """The machine-facing report (stable schema for CI tooling)."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    document = {
+        "version": 1,
+        "files_scanned": files_scanned,
+        "total": len(findings),
+        "counts_by_rule": dict(sorted(counts.items())),
+        "findings": [asdict(f) for f in sorted(findings)],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,103 @@
+"""The pluggable rule registry.
+
+Rules self-register at import time via :func:`register`; the engine asks
+:func:`all_rules` for the full set (importing :mod:`repro.lint.rules` to
+trigger registration) or :func:`get_rules` for an explicit selection.
+Keeping registration declarative means adding a rule is one new visitor
+module plus its fixtures -- no engine changes.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.walker import FileContext
+
+__all__ = ["Rule", "register", "all_rules", "get_rules", "UnknownRuleError"]
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class UnknownRuleError(Exception):
+    """A rule selection named an ID that is not registered."""
+
+
+class Rule(abc.ABC):
+    """One protocol invariant, checked per file.
+
+    Subclasses set :attr:`rule_id` (``RLxxx``) and :attr:`summary`, and
+    implement :meth:`check` yielding findings.  Rules must not mutate the
+    context and must anchor each finding to the offending node's location.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx``."""
+
+    def finding(
+        self, ctx: FileContext, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding for this rule with baseline metadata filled in."""
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            module_path=ctx.module_path,
+            snippet=ctx.line_at(line),
+        )
+
+
+def register(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry (idempotent per ID).
+
+    Raises:
+        ValueError: on a malformed ID or an ID already taken by a
+            different rule class.
+    """
+    if not _RULE_ID_RE.match(rule.rule_id):
+        raise ValueError(f"rule id must match RLxxx, got {rule.rule_id!r}")
+    existing = _REGISTRY.get(rule.rule_id)
+    if existing is not None and type(existing) is not type(rule):
+        raise ValueError(
+            f"rule id {rule.rule_id} already registered by "
+            f"{type(existing).__name__}"
+        )
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package triggers registration as a side effect.
+    import repro.lint.rules  # noqa: F401 (import for side effect)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by ID."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(rule_ids: list[str]) -> list[Rule]:
+    """The selected rules, sorted by ID.
+
+    Raises:
+        UnknownRuleError: when a selection names an unregistered ID.
+    """
+    _ensure_loaded()
+    unknown = [rid for rid in rule_ids if rid not in _REGISTRY]
+    if unknown:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownRuleError(
+            f"unknown rule(s) {', '.join(unknown)}; known rules: {known}"
+        )
+    return [_REGISTRY[rid] for rid in sorted(set(rule_ids))]

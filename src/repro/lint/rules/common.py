@@ -1,0 +1,46 @@
+"""Small AST helpers shared by the rule visitors."""
+
+from __future__ import annotations
+
+import ast
+import re
+
+__all__ = ["identifier_of", "identifier_tokens", "dotted_name"]
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_SPLIT_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def identifier_of(node: ast.expr) -> str | None:
+    """The rightmost identifier a node refers to, if any.
+
+    ``Name`` yields its id, ``Attribute`` its attribute, ``Call`` the
+    identifier of its callee.  Everything else (constants, literals,
+    subscripts, operators) yields ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return identifier_of(node.func)
+    return None
+
+
+def identifier_tokens(identifier: str) -> set[str]:
+    """Lower-case word tokens of an identifier (snake and camel case)."""
+    spaced = _CAMEL_RE.sub(" ", identifier)
+    return {tok.lower() for tok in _SPLIT_RE.split(spaced) if tok}
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a chain of Name/Attribute nodes, else ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

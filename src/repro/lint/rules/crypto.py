@@ -1,0 +1,138 @@
+"""RL001/RL002: cryptographic hygiene rules.
+
+RL001 guards the paper's Section 3 nested-MAC argument: the sink decides
+mole-vs-honest by comparing recomputed MACs against received ones, and a
+short-circuiting ``==`` leaks how many prefix bytes matched -- enough, over
+traffic volumes the service layer is built for, to forge a truncated MAC
+byte by byte.  Every comparison of MAC/digest/proof bytes must go through
+``hmac.compare_digest`` (wrapped as ``repro.crypto.mac.constant_time_equal``).
+
+RL002 guards key material: anything under ``repro.crypto``, ``repro.marking``
+or ``repro.adversary`` that draws randomness must use ``secrets`` or an
+*injected* seeded ``random.Random`` (the simulation's reproducibility
+contract) -- never the shared module-level ``random`` stream, which is both
+non-cryptographic and invisible to experiment seeding.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import identifier_of, identifier_tokens
+from repro.lint.walker import FileContext
+
+__all__ = ["ConstantTimeCompareRule", "RandomInKeyMaterialRule"]
+
+#: Identifier word-tokens that mark a value as secret digest material.
+_SECRET_TOKENS = {
+    "mac", "macs", "hmac", "digest", "digests", "proof", "proofs", "tag", "tags",
+}
+
+#: Tokens that mark the identifier as *about* a digest (its length, format,
+#: field name...) rather than the digest bytes themselves.
+_META_TOKENS = {
+    "len", "length", "size", "count", "num", "idx", "index", "offset",
+    "fmt", "format", "field", "name", "kind", "type", "policy", "prob",
+    "rate", "provider",
+}
+
+#: ``random`` module attributes that are legitimate in key-material paths:
+#: constructing an injectable seeded generator is the sanctioned pattern.
+_ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+
+_RL002_SCOPE = ("repro/crypto/", "repro/marking/", "repro/adversary/")
+
+
+def _is_secret_operand(node: ast.expr) -> bool:
+    identifier = identifier_of(node)
+    if identifier is None:
+        return False
+    tokens = identifier_tokens(identifier)
+    return bool(tokens & _SECRET_TOKENS) and not tokens & _META_TOKENS
+
+
+def _is_benign_other(node: ast.expr) -> bool:
+    """Operands that cannot be timing-attacked: str/None/bool constants."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bool))
+    )
+
+
+class ConstantTimeCompareRule(Rule):
+    """RL001: ``==``/``!=`` on MAC/digest/proof/tag bytes."""
+
+    rule_id = "RL001"
+    summary = (
+        "MAC/digest/proof bytes compared with ==/!= instead of "
+        "hmac.compare_digest"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if not any(_is_secret_operand(op) for op in operands):
+                continue
+            others = [op for op in operands if not _is_secret_operand(op)]
+            if others and all(_is_benign_other(op) for op in others):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "non-constant-time comparison of MAC/digest material; use "
+                "hmac.compare_digest (repro.crypto.mac.constant_time_equal)",
+            )
+
+
+class RandomInKeyMaterialRule(Rule):
+    """RL002: module-level ``random`` in key-material paths."""
+
+    rule_id = "RL002"
+    summary = "random module used in crypto/marking/adversary key paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_scope(_RL002_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in _ALLOWED_RANDOM_ATTRS
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"importing {', '.join(bad)} from the shared random "
+                        "module in a key-material path; use secrets or an "
+                        "injected random.Random instance",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr not in _ALLOWED_RANDOM_ATTRS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"random.{func.attr}() draws from the shared "
+                        "module-level stream in a key-material path; use "
+                        "secrets or an injected random.Random instance",
+                    )
+
+
+register(ConstantTimeCompareRule())
+register(RandomInKeyMaterialRule())

@@ -1,0 +1,223 @@
+"""RL004/RL006: determinism rules.
+
+RL004 protects the service determinism contract (``docs/service.md``): the
+ingest pipeline's verdicts must be byte-identical to the serial sink's, and
+the precedence-matrix/merge logic in ``repro.traceback`` must not depend on
+Python's set iteration order (which varies with hash seeding and insertion
+history).  Any ``for``/comprehension over a set -- or over ``dict.values()``
+-- in those packages must go through an explicit ``sorted(...)``.
+
+RL006 protects simulation reproducibility: simulation logic is driven by
+the discrete-event engine's virtual clock (``Simulator.now``) and report
+timestamps; reading the wall clock (``time.time``, ``datetime.now``...)
+makes runs unrepeatable and couples results to host speed.  The service
+layer is deliberately out of scope -- measuring real latency is its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import dotted_name
+from repro.lint.walker import FileContext
+
+__all__ = ["UnsortedSetIterationRule", "WallClockInSimulationRule"]
+
+_RL004_SCOPE = ("repro/traceback/", "repro/service/")
+
+_RL006_SCOPE = (
+    "repro/sim/",
+    "repro/net/",
+    "repro/routing/",
+    "repro/marking/",
+    "repro/adversary/",
+    "repro/filtering/",
+    "repro/tracealt/",
+)
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: Set methods whose result is itself a set.
+_SET_PRODUCING_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+_SET_ANNOTATIONS = ("set", "frozenset", "Set", "AbstractSet", "MutableSet")
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except ValueError:  # pragma: no cover - malformed annotation
+        return False
+    return text.startswith(_SET_ANNOTATIONS) or text.startswith(
+        ("typing.Set", "typing.AbstractSet", "typing.MutableSet")
+    )
+
+
+def _is_set_expr(node: ast.expr, set_vars: set[str]) -> bool:
+    """Whether ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_PRODUCING_METHODS:
+            return _is_set_expr(func.value, set_vars)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(
+            node.right, set_vars
+        )
+    return False
+
+
+def _iter_scope_children(node: ast.AST) -> Iterator[ast.AST]:
+    """Children of ``node`` that stay within the current scope."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield child
+
+
+def _scope_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """All descendants of ``node`` without descending into nested scopes."""
+    for child in _iter_scope_children(node):
+        yield child
+        yield from _scope_walk(child)
+
+
+def _collect_set_vars(scope: ast.AST, inherited: set[str]) -> set[str]:
+    set_vars = set(inherited)
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _is_set_annotation(arg.annotation):
+                set_vars.add(arg.arg)
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation):
+                set_vars.add(node.target.id)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and _is_set_expr(
+                    node.value, set_vars
+                ):
+                    set_vars.add(target.id)
+    return set_vars
+
+
+class UnsortedSetIterationRule(Rule):
+    """RL004: unordered iteration feeding precedence/merge logic."""
+
+    rule_id = "RL004"
+    summary = "set/dict.values() iterated without sorted() in merge logic"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_scope(_RL004_SCOPE):
+            return
+        yield from self._check_scope(ctx, ctx.tree, set())
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, inherited: set[str]
+    ) -> Iterator[Finding]:
+        set_vars = _collect_set_vars(scope, inherited)
+        for node in _scope_walk(scope):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_expr in iters:
+                yield from self._check_iter(ctx, iter_expr, set_vars)
+        for node in _scope_walk(scope):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SCOPE_NODES):
+                    yield from self._check_scope(ctx, child, set_vars)
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, _SCOPE_NODES):
+                yield from self._check_scope(ctx, child, set_vars)
+
+    def _check_iter(
+        self, ctx: FileContext, iter_expr: ast.expr, set_vars: set[str]
+    ) -> Iterator[Finding]:
+        is_values_call = (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr == "values"
+            and not iter_expr.args
+        )
+        if not is_values_call and not _is_set_expr(iter_expr, set_vars):
+            return
+        what = "dict.values()" if is_values_call else "a set"
+        yield self.finding(
+            ctx,
+            iter_expr.lineno,
+            iter_expr.col_offset,
+            f"iteration over {what} in precedence/merge logic without an "
+            "explicit sorted(...); verdict order must not depend on hash "
+            "or insertion order (service determinism contract)",
+        )
+
+
+class WallClockInSimulationRule(Rule):
+    """RL006: wall-clock reads inside simulation logic."""
+
+    rule_id = "RL006"
+    summary = "wall-clock time used where the engine clock is required"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_scope(_RL006_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() reads the wall clock inside simulation "
+                    "logic; use the event engine's virtual clock "
+                    "(Simulator.now) or report timestamps",
+                )
+
+
+register(UnsortedSetIterationRule())
+register(WallClockInSimulationRule())

@@ -1,0 +1,195 @@
+"""RL005: lock discipline for annotated shared state.
+
+The service layer (``repro.service``) is the one place this codebase is
+deliberately concurrent, and its correctness argument ("service verdicts
+are identical to the serial sink's") rests on every shared-state mutation
+happening under the owning lock.  A missed lock does not fail tests -- it
+silently diverges verdicts under load.
+
+The contract is declared where the state is born: an attribute assignment
+in ``__init__`` annotated ``# guarded-by: _lock`` promises that every
+later mutation of ``self.<attr>`` in that class happens lexically inside
+``with self._lock:``.  This rule enforces the promise.  Mutations are
+rebinding assignments, augmented assignments, ``del``, subscript stores,
+and calls to known mutating container methods (``append``, ``pop``,
+``update``...).  ``__init__`` itself is exempt: construction happens
+before the object is shared.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.walker import FileContext
+
+__all__ = ["GuardedByRule"]
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "reverse",
+    "rotate",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attrs(node: ast.AST) -> Iterator[str]:
+    """Guardable ``self.X`` attributes this statement/expression mutates."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets.extend(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets.append(node.target)
+    elif isinstance(node, ast.Delete):
+        targets.extend(node.targets)
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATING_METHODS:
+            attr = _self_attr(node.func.value)
+            if attr is not None:
+                yield attr
+        return
+    else:
+        return
+    for target in targets:
+        # Unpack tuple/list targets, then look for self.X and self.X[...]
+        stack = [target]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.Tuple, ast.List)):
+                stack.extend(current.elts)
+                continue
+            if isinstance(current, (ast.Subscript, ast.Starred)):
+                stack.append(current.value)
+                continue
+            attr = _self_attr(current)
+            if attr is not None:
+                yield attr
+
+
+def _held_locks(ancestors: list[ast.AST]) -> set[str]:
+    """Lock attribute names held via ``with self.<lock>:`` ancestors."""
+    held: set[str] = set()
+    for ancestor in ancestors:
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    held.add(attr)
+    return held
+
+
+def _guarded_attrs(
+    cls: ast.ClassDef, guarded_by: dict[int, str]
+) -> dict[str, str]:
+    """``attr -> lock`` declared by ``# guarded-by:`` comments in ``cls``.
+
+    An annotation attaches to the ``self.X = ...`` (or ``self.X: T = ...``)
+    statement spanning its line, looked for in the constructors.
+    """
+    guarded: dict[str, str] = {}
+    for method in cls.body:
+        if not isinstance(method, ast.FunctionDef):
+            continue
+        if method.name not in _CONSTRUCTORS:
+            continue
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            end = stmt.end_lineno if stmt.end_lineno is not None else stmt.lineno
+            lock = next(
+                (
+                    guarded_by[line]
+                    for line in range(stmt.lineno, end + 1)
+                    if line in guarded_by
+                ),
+                None,
+            )
+            if lock is None:
+                continue
+            for attr in _mutated_attrs(stmt):
+                guarded[attr] = lock
+    return guarded
+
+
+class GuardedByRule(Rule):
+    """RL005: guarded attribute mutated outside its lock."""
+
+    rule_id = "RL005"
+    summary = "# guarded-by attribute mutated outside its with-lock block"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.guarded_by:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = _guarded_attrs(cls, ctx.guarded_by)
+        if not guarded:
+            return
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name in _CONSTRUCTORS:
+                continue
+            yield from self._check_method(ctx, method, guarded)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        method: ast.FunctionDef,
+        guarded: dict[str, str],
+    ) -> Iterator[Finding]:
+        stack: list[tuple[ast.AST, list[ast.AST]]] = [(method, [])]
+        while stack:
+            node, ancestors = stack.pop()
+            for attr in _mutated_attrs(node):
+                lock = guarded.get(attr)
+                if lock is None:
+                    continue
+                if lock not in _held_locks(ancestors):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"self.{attr} is declared '# guarded-by: {lock}' "
+                        f"but is mutated outside 'with self.{lock}:'",
+                    )
+            child_ancestors = ancestors + [node]
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, child_ancestors))
+
+
+register(GuardedByRule())

@@ -1,0 +1,121 @@
+"""RL003: plaintext node-ID leakage.
+
+PNM's anonymity argument (Section 4.2) is that the ID a mark carries on the
+wire is ``i' = H'_{k_i}(M | i)`` -- a forwarding mole must not be able to
+tell which real nodes marked a packet.  That property dies the moment code
+on the network path writes a *real* node ID into a mark constructor or a
+log/print call: the anonymous ID and the plaintext ID end up side by side
+in data an adversary model (or an operator log shipped off-box) can read.
+
+Real node IDs may flow into marks/logs only where the protocol says so:
+
+* the sink's resolver (``repro.traceback.resolver``), verifier
+  (``repro.traceback.verify``) and the pairwise precision extension,
+  which exist to map anonymous IDs back;
+* the marking schemes themselves (``repro.marking``): the plain-ID
+  baselines are *documented* as non-anonymous -- that weakness is the
+  paper's point of comparison;
+* the adversary package, which models an attacker and may do anything;
+* sink-side reporting (``repro.core``, ``repro.experiments``,
+  ``repro.analysis``) and the store-at-node baselines (``repro.tracealt``),
+  which never transit the sensor network.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.walker import FileContext
+
+__all__ = ["NodeIdLeakRule"]
+
+#: Identifiers that denote a real (plaintext) node identity.
+_REAL_ID_RE = re.compile(
+    r"^(node|real|written|claimed|marker|sender|source|src|mole)_ids?$|^prev_hop$"
+)
+
+#: Call targets that put bytes on the wire: the Mark constructor and any
+#: scheme-specific ``FooMark`` class.
+_MARK_CTOR_RE = re.compile(r"^Mark$|^[A-Z]\w*Mark$")
+
+#: Call targets that persist or emit text.
+_LOG_ATTRS = {"debug", "info", "warning", "error", "critical", "exception", "log"}
+
+#: Paths where real-ID flow into marks/logs is part of the protocol.
+_ALLOWED_PREFIXES = (
+    "repro/marking/",
+    "repro/adversary/",
+    "repro/traceback/resolver.py",
+    "repro/traceback/precision.py",
+    "repro/traceback/verify.py",
+    "repro/tracealt/",
+    "repro/experiments/",
+    "repro/analysis/",
+    "repro/core/",
+)
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_sink_call(node: ast.Call) -> bool:
+    name = _callee_name(node)
+    if name is None:
+        return False
+    if name == "print":
+        return True
+    if isinstance(node.func, ast.Attribute) and name in _LOG_ATTRS:
+        return True
+    return bool(_MARK_CTOR_RE.match(name))
+
+
+def _real_id_names(node: ast.Call) -> Iterator[tuple[int, int, str]]:
+    """Real-node-ID identifiers anywhere in the call's arguments."""
+    arguments: list[ast.expr] = list(node.args)
+    arguments.extend(kw.value for kw in node.keywords)
+    for arg in arguments:
+        for sub in ast.walk(arg):
+            name: str | None = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None and _REAL_ID_RE.match(name):
+                yield sub.lineno, sub.col_offset, name
+
+
+class NodeIdLeakRule(Rule):
+    """RL003: real node IDs written into marks or logs on the network path."""
+
+    rule_id = "RL003"
+    summary = "plaintext node ID flows into a mark constructor or log call"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module_path or ctx.in_scope(_ALLOWED_PREFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_sink_call(node):
+                continue
+            for line, col, name in _real_id_names(node):
+                yield self.finding(
+                    ctx,
+                    line,
+                    col,
+                    f"real node ID {name!r} flows into "
+                    f"{_callee_name(node)}(...); outside the resolver and "
+                    "the marking schemes' anonymous-ID derivation, marks "
+                    "and logs must carry anonymous IDs only (Section 4.2)",
+                )
+
+
+register(NodeIdLeakRule())

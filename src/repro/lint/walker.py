@@ -1,0 +1,163 @@
+"""File discovery, parsing, and comment-directive extraction.
+
+The AST does not carry comments, so the walker tokenizes each file once and
+collects the three comment directives the engine understands:
+
+* ``# lint: disable=RL001,RL004`` -- suppress those rules on this line
+  (bare ``# lint: disable`` suppresses every rule on the line);
+* ``# lint: module=repro/service/queue.py`` -- override the inferred
+  module path, so fixture files in tests can opt into path-scoped rules;
+* ``# guarded-by: _lock`` -- on an attribute assignment in ``__init__``,
+  declares that every later mutation of the attribute must happen inside
+  ``with self._lock:`` (enforced by RL005).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FileContext", "ParseError", "iter_python_files", "load_file"]
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable(?:\s*=\s*(?P<rules>[A-Z0-9,\s]+))?")
+_MODULE_RE = re.compile(r"#\s*lint:\s*module\s*=\s*(?P<module>\S+)")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+
+#: Suppression value meaning "every rule".
+ALL_RULES = "*"
+
+
+class ParseError(Exception):
+    """A file could not be tokenized or parsed as Python source."""
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need to know about one source file.
+
+    Attributes:
+        path: the path as reported in findings.
+        module_path: ``repro/...``-rooted posix path for rule scoping
+            (empty when the file lives outside the package and declares
+            no ``# lint: module=`` directive).
+        source: full file contents.
+        tree: the parsed module AST.
+        suppressions: line number -> suppressed rule IDs (``{"*"}`` means
+            all rules suppressed on that line).
+        guarded_by: line number -> lock attribute name from
+            ``# guarded-by:`` annotations.
+    """
+
+    path: str
+    module_path: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    guarded_by: dict[int, str] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line``."""
+        suppressed = self.suppressions.get(line)
+        if suppressed is None:
+            return False
+        return ALL_RULES in suppressed or rule_id in suppressed
+
+    def line_at(self, line: int) -> str:
+        """The stripped source text of 1-based ``line`` (for fingerprints)."""
+        lines = self.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def in_scope(self, prefixes: tuple[str, ...]) -> bool:
+        """Whether this file's module path falls under any of ``prefixes``."""
+        return any(self.module_path.startswith(p) for p in prefixes)
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``root`` (or ``root`` itself).
+
+    Hidden directories and ``__pycache__`` are skipped; results are sorted
+    so reports and baselines are stable across filesystems.
+    """
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        parts = path.relative_to(root).parts
+        if any(p.startswith(".") or p == "__pycache__" for p in parts):
+            continue
+        yield path
+
+
+def _infer_module_path(path: Path) -> str:
+    """The ``repro/...`` suffix of ``path``, or ``""`` when absent."""
+    parts = path.as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return ""
+
+
+def _scan_comments(
+    source: str,
+) -> tuple[dict[int, set[str]], dict[int, str], str | None]:
+    """Extract (suppressions, guarded-by map, module override) from comments."""
+    suppressions: dict[int, set[str]] = {}
+    guarded: dict[int, str] = {}
+    module_override: str | None = None
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError) as exc:
+        raise ParseError(str(exc)) from exc
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line = token.start[0]
+        disable = _DISABLE_RE.search(token.string)
+        if disable is not None:
+            rules = disable.group("rules")
+            if rules is None:
+                suppressions.setdefault(line, set()).add(ALL_RULES)
+            else:
+                ids = {r.strip() for r in rules.split(",") if r.strip()}
+                suppressions.setdefault(line, set()).update(ids)
+        module = _MODULE_RE.search(token.string)
+        if module is not None:
+            module_override = module.group("module")
+        guard = _GUARDED_RE.search(token.string)
+        if guard is not None:
+            guarded[line] = guard.group("lock")
+    return suppressions, guarded, module_override
+
+
+def load_file(path: Path, display_path: str | None = None) -> FileContext:
+    """Parse ``path`` into a :class:`FileContext`.
+
+    Raises:
+        ParseError: when the file is not valid Python source.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ParseError(f"cannot read {path}: {exc}") from exc
+    suppressions, guarded, module_override = _scan_comments(source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ParseError(f"syntax error in {path}: {exc}") from exc
+    module_path = module_override or _infer_module_path(path)
+    return FileContext(
+        path=display_path if display_path is not None else path.as_posix(),
+        module_path=module_path,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        guarded_by=guarded,
+    )

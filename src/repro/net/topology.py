@@ -171,7 +171,7 @@ def linear_path_topology(n_forwarders: int) -> tuple[Topology, int]:
     positions[source_id] = (float(total_span), 0.0)
     # Chain order by x-coordinate: sink(0) - Vn(n) - ... - V1(1) - S.
     chain = [SINK_ID] + list(range(n_forwarders, 0, -1)) + [source_id]
-    edges = list(zip(chain, chain[1:]))
+    edges = list(zip(chain, chain[1:], strict=False))
     return Topology(positions, edges, sink=SINK_ID), source_id
 
 

@@ -73,17 +73,17 @@ class ResolverCache:
         self.provider = provider
         self.table_capacity = table_capacity
         self.hot_capacity = hot_capacity
-        self._tables: OrderedDict[bytes, object | None] = OrderedDict()
-        self._hot: OrderedDict[int, None] = OrderedDict()
-        self._hot_snapshot: list[int] | None = None
+        self._tables: OrderedDict[bytes, object | None] = OrderedDict()  # guarded-by: _lock
+        self._hot: OrderedDict[int, None] = OrderedDict()  # guarded-by: _lock
+        self._hot_snapshot: list[int] | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
         # Counters (read without the lock for display only).
-        self.table_hits = 0
-        self.table_misses = 0
-        self.table_evictions = 0
-        self.hot_searches = 0
-        self.hot_misses = 0
-        self.invalidations = 0
+        self.table_hits = 0  # guarded-by: _lock
+        self.table_misses = 0  # guarded-by: _lock
+        self.table_evictions = 0  # guarded-by: _lock
+        self.hot_searches = 0  # guarded-by: _lock
+        self.hot_misses = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
 
     # Resolution-table memo ---------------------------------------------------
 

@@ -158,7 +158,9 @@ class SinkIngestService:
             verifications = self.pool.verify_batch(
                 [packet for packet, _ in items]
             )
-            for (_, delivering_node), verification in zip(items, verifications):
+            for (_, delivering_node), verification in zip(
+                items, verifications, strict=True
+            ):
                 self._merge(verification, delivering_node)
         else:
             for packet, delivering_node in items:

@@ -48,16 +48,16 @@ class IngestQueue(Generic[T]):
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.policy = policy
-        self._items: deque[T] = deque()
+        self._items: deque[T] = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
         # Exact backpressure accounting.
-        self.offered = 0
-        self.accepted = 0
-        self.dropped_newest = 0
-        self.dropped_oldest = 0
-        self.taken = 0
-        self.high_water = 0
+        self.offered = 0  # guarded-by: _lock
+        self.accepted = 0  # guarded-by: _lock
+        self.dropped_newest = 0  # guarded-by: _lock
+        self.dropped_oldest = 0  # guarded-by: _lock
+        self.taken = 0  # guarded-by: _lock
+        self.high_water = 0  # guarded-by: _lock
 
     def offer(self, item: T) -> bool:
         """Enqueue ``item``, applying the drop policy when full.

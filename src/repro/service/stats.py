@@ -36,12 +36,13 @@ class LatencyHistogram:
         if num_buckets < 1:
             raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
         self._bounds = [min_bucket * (2.0**i) for i in range(num_buckets)]
-        self._counts = [0] * (num_buckets + 1)  # +1 overflow
+        # One extra bucket catches overflow past the largest bound.
+        self._counts = [0] * (num_buckets + 1)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
+        self.count = 0  # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.min = float("inf")  # guarded-by: _lock
+        self.max = 0.0  # guarded-by: _lock
 
     def observe(self, seconds: float, times: int = 1) -> None:
         """Record ``times`` observations of ``seconds`` each."""

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyStore
-from repro.crypto.mac import MacProvider
+from repro.crypto.mac import MacProvider, constant_time_equal
 from repro.packets.packet import MarkedPacket
 from repro.packets.report import Report
 from repro.sim.behaviors import ForwardingBehavior
@@ -228,7 +228,7 @@ class NotificationSink:
                 self.rejected += 1
                 return
             expected = self.provider.mac(key, notification.mac_input())
-            if expected != notification.mac:
+            if not constant_time_equal(expected, notification.mac):
                 self.rejected += 1
                 return
         self.accepted.append(notification)
@@ -239,7 +239,9 @@ class NotificationSink:
         return {
             (n.prev_hop, n.node_id)
             for n in self.accepted
-            if n.digest == digest
+            # Content-addressing, not authentication: both digests are
+            # computed from public report bytes, so timing is harmless.
+            if n.digest == digest  # lint: disable=RL001
         }
 
     def most_upstream(self, reports: list[Report]) -> int | None:

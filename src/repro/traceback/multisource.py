@@ -95,7 +95,7 @@ class MultiSourceTracebackSink(TracebackSink):
         # single-source analysis already knows them as source_candidates;
         # group them by component via the loop sets.
         loop_members = set().union(*analysis.loops) if analysis.loops else set()
-        for candidate in analysis.source_candidates:
+        for candidate in sorted(analysis.source_candidates):
             if candidate in loop_members:
                 # Identity-swapping component: defer to the loop logic.
                 continue

@@ -78,7 +78,7 @@ class PrecedenceGraph:
         """
         for node in chain_ids:
             self._graph.add_node(node)
-        for upstream, downstream in zip(chain_ids, chain_ids[1:]):
+        for upstream, downstream in zip(chain_ids, chain_ids[1:], strict=False):
             if upstream != downstream:
                 self._graph.add_edge(upstream, downstream)
 
@@ -158,7 +158,7 @@ class PrecedenceGraph:
         """
         direct = {
             succ
-            for member in loop
+            for member in sorted(loop)
             for succ in graph.successors(member)
             if succ not in loop
         }
@@ -172,7 +172,7 @@ class PrecedenceGraph:
             if not others:
                 return node
             reaches_node = any(
-                nx.has_path(graph, other, node) for other in others
+                nx.has_path(graph, other, node) for other in sorted(others)
             )
             if not reaches_node:
                 return node

@@ -199,7 +199,7 @@ class TracebackSink:
         """
         if not self._tamper_stop_nodes:
             return None
-        stops = set(self._tamper_stop_nodes)
+        stops = sorted(self._tamper_stop_nodes)
         graph = self.precedence.to_networkx()
 
         def is_downstream_of_another(node: int) -> bool:

@@ -34,6 +34,28 @@ class TestRevocationList:
         with pytest.raises(KeyError):
             RevocationList().record(9)
 
+    def test_raising_listener_does_not_block_others(self):
+        rl = RevocationList()
+        seen: list[int] = []
+
+        def bad(record):
+            raise RuntimeError("listener boom")
+
+        rl.subscribe(bad)
+        rl.subscribe(lambda record: seen.append(record.node_id))
+        with pytest.raises(RuntimeError, match="listener boom"):
+            rl.revoke(5, reason="evidence")
+        # The record landed and the later listener still fired.
+        assert rl.is_revoked(5)
+        assert seen == [5]
+
+    def test_first_listener_error_wins(self):
+        rl = RevocationList()
+        rl.subscribe(lambda record: (_ for _ in ()).throw(RuntimeError("first")))
+        rl.subscribe(lambda record: (_ for _ in ()).throw(ValueError("second")))
+        with pytest.raises(RuntimeError, match="first"):
+            rl.revoke(3, reason="evidence")
+
 
 class TestQuarantineManager:
     def suspect(self):

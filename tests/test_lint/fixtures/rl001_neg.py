@@ -1,0 +1,16 @@
+"""RL001 negative: constant-time and metadata comparisons are fine."""
+
+import hmac
+
+
+def verify(expected_mac: bytes, received_mac: bytes) -> bool:
+    return hmac.compare_digest(expected_mac, received_mac)
+
+
+def well_formed(mac: bytes, mac_len: int) -> bool:
+    # Comparing a digest's *length* leaks nothing about its bytes.
+    return len(mac) == mac_len
+
+
+def is_mac_field(field_name: str) -> bool:
+    return field_name == "mac"

@@ -1,0 +1,9 @@
+"""RL001 positive: MAC bytes compared with short-circuiting ``==``."""
+
+
+def verify(expected_mac: bytes, received_mac: bytes) -> bool:
+    return expected_mac == received_mac
+
+
+def reject(proof: bytes, claimed_digest: bytes) -> bool:
+    return proof != claimed_digest

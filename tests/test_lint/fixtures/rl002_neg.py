@@ -1,0 +1,17 @@
+# lint: module=repro/crypto/fixture_keys_ok.py
+"""RL002 negative: ``secrets`` and injected seeded ``Random`` are sanctioned."""
+
+import random
+import secrets
+
+
+def make_key() -> bytes:
+    return secrets.token_bytes(8)
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()

@@ -1,0 +1,10 @@
+# lint: module=repro/crypto/fixture_keys.py
+"""RL002 positive: the shared module-level random stream in a key path."""
+
+import random
+from random import randbytes
+
+
+def make_key() -> bytes:
+    seed = random.getrandbits(64)
+    return seed.to_bytes(8, "big") + randbytes(8)

@@ -1,0 +1,16 @@
+# lint: module=repro/sim/fixture_anon.py
+"""RL003 negative: only derived anonymous IDs reach marks and logs."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class Mark:
+    def __init__(self, identity: object) -> None:
+        self.identity = identity
+
+
+def build_mark(anon_id: bytes) -> Mark:
+    logger.info("marking packet anon=%s", anon_id.hex())
+    return Mark(anon_id)

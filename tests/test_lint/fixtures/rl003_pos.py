@@ -1,0 +1,16 @@
+# lint: module=repro/sim/fixture_leak.py
+"""RL003 positive: plaintext node ID written into a mark and a log call."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class Mark:
+    def __init__(self, identity: object) -> None:
+        self.identity = identity
+
+
+def build_mark(node_id: int) -> Mark:
+    logger.info("marking packet at node %d", node_id)
+    return Mark(node_id)

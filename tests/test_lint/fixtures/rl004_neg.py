@@ -1,0 +1,11 @@
+# lint: module=repro/traceback/fixture_merge_ok.py
+"""RL004 negative: every unordered collection goes through sorted()."""
+
+
+def merge(candidates: set[int], weights: dict[int, float]) -> list[float]:
+    order = []
+    for node in sorted(candidates):
+        order.append(float(node))
+    for weight in sorted(weights.values()):
+        order.append(weight)
+    return order

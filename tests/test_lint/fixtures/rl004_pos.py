@@ -1,0 +1,11 @@
+# lint: module=repro/traceback/fixture_merge.py
+"""RL004 positive: unordered iteration feeding merge logic."""
+
+
+def merge(candidates: set[int], weights: dict[int, float]) -> list[float]:
+    order = []
+    for node in candidates:
+        order.append(float(node))
+    for weight in weights.values():
+        order.append(weight)
+    return order

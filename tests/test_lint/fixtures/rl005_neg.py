@@ -1,0 +1,18 @@
+"""RL005 negative: guarded attributes only touched inside their lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self._pending: list[int] = []  # guarded-by: _lock
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def enqueue(self, item: int) -> None:
+        with self._lock:
+            self._pending.append(item)

@@ -1,0 +1,16 @@
+"""RL005 positive: a guarded attribute mutated without its lock held."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self._pending: list[int] = []  # guarded-by: _lock
+
+    def bump(self) -> None:
+        self.count += 1
+
+    def enqueue(self, item: int) -> None:
+        self._pending.append(item)

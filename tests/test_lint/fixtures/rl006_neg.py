@@ -1,0 +1,11 @@
+# lint: module=repro/sim/fixture_clock_ok.py
+"""RL006 negative: simulation time comes from the engine's virtual clock."""
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def stamp_event(sim: Simulator) -> float:
+    return sim.now

@@ -1,0 +1,11 @@
+# lint: module=repro/sim/fixture_clock.py
+"""RL006 positive: wall-clock reads inside simulation logic."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event() -> float:
+    started = datetime.now()
+    _ = started
+    return time.time()
