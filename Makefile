@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench experiments experiments-full examples clean
+.PHONY: install test lint bench experiments experiments-full faults examples clean
 
 install:
 	pip install -e .
@@ -22,6 +22,10 @@ experiments:
 # The paper's exact run sizes (5000 runs for Figs. 5/7, 100 for Fig. 6).
 experiments-full:
 	python -m repro.experiments.cli all --preset full
+
+# Traceback under churn: crashes, repairs, false accusations (docs/faults.md).
+faults:
+	python -m repro.experiments.cli faults-sweep --preset quick
 
 examples:
 	python examples/quickstart.py

@@ -12,6 +12,9 @@ prints the same rows/series the paper reports:
 * :mod:`repro.experiments.sink_cost` -- Section 4.2's feasibility numbers.
 * :mod:`repro.experiments.ablations` -- design-choice sweeps (marking
   probability, resolver bounding, mark truncation, route dynamics).
+* :mod:`repro.experiments.faults_sweep` -- traceback under churn:
+  delivery, route repairs, and honest false-accusation rates across
+  fault schedules (see ``docs/faults.md``).
 
 Run any of them via ``python -m repro.experiments.<name>`` or the
 ``pnm-experiment`` CLI.

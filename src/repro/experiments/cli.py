@@ -17,6 +17,7 @@ from collections.abc import Callable
 from repro.experiments import (
     ablations,
     approaches,
+    faults_sweep,
     fig4,
     fig5,
     fig6,
@@ -41,6 +42,7 @@ _SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
     "security-matrix": security_matrix.run,
     "sink-cost": sink_cost.run,
     "service-sweep": service_sweep.run,
+    "faults-sweep": faults_sweep.run,
     "approaches": approaches.run,
     "overhead": overhead_table.run,
     "filtering-interplay": filtering_interplay.run,

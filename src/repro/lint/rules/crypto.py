@@ -43,7 +43,12 @@ _META_TOKENS = {
 #: constructing an injectable seeded generator is the sanctioned pattern.
 _ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
 
-_RL002_SCOPE = ("repro/crypto/", "repro/marking/", "repro/adversary/")
+_RL002_SCOPE = (
+    "repro/crypto/",
+    "repro/marking/",
+    "repro/adversary/",
+    "repro/faults/",
+)
 
 
 def _is_secret_operand(node: ast.expr) -> bool:

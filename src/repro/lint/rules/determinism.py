@@ -26,7 +26,7 @@ from repro.lint.walker import FileContext
 
 __all__ = ["UnsortedSetIterationRule", "WallClockInSimulationRule"]
 
-_RL004_SCOPE = ("repro/traceback/", "repro/service/")
+_RL004_SCOPE = ("repro/traceback/", "repro/service/", "repro/faults/")
 
 _RL006_SCOPE = (
     "repro/sim/",
@@ -36,6 +36,7 @@ _RL006_SCOPE = (
     "repro/adversary/",
     "repro/filtering/",
     "repro/tracealt/",
+    "repro/faults/",
 )
 
 _WALL_CLOCK_CALLS = {

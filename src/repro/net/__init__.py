@@ -8,7 +8,7 @@ unit-disk connectivity model, and a simple lossy/delayed link model for the
 discrete-event simulator.
 """
 
-from repro.net.links import LinkModel
+from repro.net.links import LinkModel, LinkTable
 from repro.net.topology import (
     Topology,
     grid_topology,
@@ -24,4 +24,5 @@ __all__ = [
     "random_topology",
     "poisson_disk_topology",
     "LinkModel",
+    "LinkTable",
 ]

@@ -1,4 +1,4 @@
-"""Radio link model for the discrete-event simulator.
+"""Radio link models for the discrete-event simulator.
 
 Sensor radios are slow (the paper cites 19.2 kbps Mica2 motes, roughly 50
 packets per second), so per-hop delay is dominated by serialization.  The
@@ -7,14 +7,21 @@ size-proportional serialization term, and an independent per-hop loss
 probability.  This is enough to exercise timing- and loss-sensitive code
 paths (probabilistic mark collection, duplicate suppression) without
 modelling MAC-layer contention.
+
+Uniform links are the common case, but fault injection
+(:mod:`repro.faults`) needs to degrade *one* link -- ramp its delay or
+loss -- without touching the rest of the deployment.  :class:`LinkTable`
+layers per-directed-edge overrides over a single default model; the
+single-model constructor path everywhere stays backward compatible.
 """
 
 from __future__ import annotations
 
 import random
+from collections.abc import Mapping
 from dataclasses import dataclass
 
-__all__ = ["LinkModel"]
+__all__ = ["LinkModel", "LinkTable"]
 
 #: Paper-cited Mica2 radio rate in bits per second (Section 4.2).
 MICA2_BITRATE_BPS = 19_200
@@ -58,3 +65,58 @@ class LinkModel:
         if self.loss_prob == 0.0:
             return True
         return rng.random() >= self.loss_prob
+
+
+class LinkTable:
+    """Per-hop link models: one default plus per-directed-edge overrides.
+
+    A transmission from ``u`` to ``v`` uses the override registered for
+    the directed edge ``(u, v)`` when one exists, the default model
+    otherwise.  Overrides are directed on purpose: a degraded radio often
+    fails asymmetrically, and the fault injector reverts exactly the
+    edges it degraded.
+
+    Args:
+        default: model used by every edge without an override; a fresh
+            :class:`LinkModel` when omitted.
+        overrides: initial ``(from_node, to_node) -> LinkModel`` mapping.
+    """
+
+    def __init__(
+        self,
+        default: LinkModel | None = None,
+        overrides: Mapping[tuple[int, int], LinkModel] | None = None,
+    ):
+        self.default = default if default is not None else LinkModel()
+        self._overrides: dict[tuple[int, int], LinkModel] = (
+            dict(overrides) if overrides else {}
+        )
+
+    def model_for(self, from_node: int, to_node: int) -> LinkModel:
+        """The model governing a transmission from ``from_node`` to ``to_node``."""
+        return self._overrides.get((from_node, to_node), self.default)
+
+    def set_override(
+        self, from_node: int, to_node: int, model: LinkModel
+    ) -> None:
+        """Install (or replace) the model for one directed edge."""
+        if from_node == to_node:
+            raise ValueError(f"self-loop override on node {from_node}")
+        self._overrides[(from_node, to_node)] = model
+
+    def clear_override(self, from_node: int, to_node: int) -> bool:
+        """Remove one directed edge's override; returns whether it existed."""
+        return self._overrides.pop((from_node, to_node), None) is not None
+
+    def overridden_edges(self) -> list[tuple[int, int]]:
+        """Directed edges carrying an override, in sorted order."""
+        return sorted(self._overrides)
+
+    def __len__(self) -> int:
+        return len(self._overrides)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkTable(default={self.default!r}, "
+            f"overrides={len(self._overrides)})"
+        )

@@ -11,11 +11,15 @@ implemented here over the static :class:`~repro.net.topology.Topology`:
   forwards to its neighbor closest to the sink.
 * :mod:`repro.routing.dynamics` -- controlled route churn for the Section 7
   "Impact of Routing Dynamics" ablation.
+* :mod:`repro.routing.repair` -- retry/backoff dead-hop detection policy
+  and a routing table that locally rebuilds the tree around crashed
+  nodes (driven by the fault subsystem, :mod:`repro.faults`).
 """
 
 from repro.routing.base import RoutingError, RoutingTable
 from repro.routing.dynamics import RouteDynamics
 from repro.routing.geographic import build_greedy_geographic_table
+from repro.routing.repair import RepairingRoutingTable, RepairPolicy
 from repro.routing.tree import build_routing_tree
 
 __all__ = [
@@ -24,4 +28,6 @@ __all__ = [
     "build_routing_tree",
     "build_greedy_geographic_table",
     "RouteDynamics",
+    "RepairPolicy",
+    "RepairingRoutingTable",
 ]

@@ -225,11 +225,22 @@ class SinkIngestService:
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close(drain=exc_type is None)
 
+    def invalidate_node(self, node_id: int) -> None:
+        """Purge cached resolver state derived from ``node_id``.
+
+        Two callers: key revocation (:mod:`repro.isolation`, via the
+        subscribed revocation log) and node death (the fault injector,
+        :mod:`repro.faults` -- a crashed node's packets stop mid-stream
+        and its memoized tables and hot-set slot must not linger).
+        No-op when caching is disabled.
+        """
+        if self.cache is not None:
+            self.cache.invalidate_node(node_id)
+
     # Observability -----------------------------------------------------------
 
     def _on_revoked(self, record: RevocationRecord) -> None:
-        if self.cache is not None:
-            self.cache.invalidate_node(record.node_id)
+        self.invalidate_node(record.node_id)
 
     def stats(self) -> ServiceStats:
         """A consistent observability snapshot of the whole pipeline."""

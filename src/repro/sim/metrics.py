@@ -44,6 +44,7 @@ class MetricsCollector:
     packets_delivered: int = 0
     packets_dropped: int = 0
     packets_lost: int = 0
+    packets_faulted: int = 0
     transmissions: Counter = field(default_factory=Counter)
     bytes_transmitted: Counter = field(default_factory=Counter)
     delivery_delays: list[float] = field(default_factory=list)
@@ -69,6 +70,16 @@ class MetricsCollector:
     def record_loss(self) -> None:
         """The radio link lost a transmission."""
         self.packets_lost += 1
+
+    def record_fault(self) -> None:
+        """A packet died to an injected fault (dead node, no route left)."""
+        self.packets_faulted += 1
+
+    def delivery_ratio(self) -> float:
+        """Delivered / injected packets (1.0 when nothing was injected)."""
+        if not self.packets_injected:
+            return 1.0
+        return self.packets_delivered / self.packets_injected
 
     @property
     def total_bytes(self) -> int:
@@ -104,6 +115,7 @@ class MetricsCollector:
             "packets_delivered": self.packets_delivered,
             "packets_dropped": self.packets_dropped,
             "packets_lost": self.packets_lost,
+            "packets_faulted": self.packets_faulted,
             "total_transmissions": self.total_transmissions,
             "total_bytes": self.total_bytes,
             "energy_joules": self.energy_spent(),

@@ -5,6 +5,15 @@ a link model and one or more report sources, delivering surviving packets
 to a :class:`~repro.traceback.sink.TracebackSink`.  Used by the examples
 and integration tests; the paper's figure experiments use the faster
 :class:`~repro.sim.pipeline.PathPipeline` since they only vary path length.
+
+Beyond the paper's static-network assumption, the simulation supports
+*benign dynamics* for the fault subsystem (:mod:`repro.faults`): nodes can
+be failed and restored mid-run (:meth:`NetworkSimulation.fail_node`),
+individual links can carry degraded models
+(:class:`~repro.net.links.LinkTable` overrides), and a sender whose next
+hop stopped responding retries with bounded backoff before declaring the
+hop dead and asking the routing layer for a repair
+(:class:`~repro.routing.repair.RepairingRoutingTable`).
 """
 
 from __future__ import annotations
@@ -12,10 +21,11 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Mapping
 
-from repro.net.links import LinkModel
+from repro.net.links import LinkModel, LinkTable
 from repro.net.topology import Topology
 from repro.packets.packet import MarkedPacket
-from repro.routing.base import RoutingTable
+from repro.routing.base import RoutingError, RoutingTable
+from repro.routing.repair import RepairPolicy
 from repro.sim.behaviors import ForwardingBehavior
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsCollector
@@ -31,11 +41,16 @@ class NetworkSimulation:
 
     Args:
         topology: the deployment graph.
-        routing: next-hop table toward the sink.
+        routing: next-hop table toward the sink.  A
+            :class:`~repro.routing.repair.RepairingRoutingTable` enables
+            route repair when a next hop is declared dead.
         behaviors: forwarding behavior for every non-sink node that may
             carry traffic (honest forwarders and moles alike).
         sink: the traceback sink.
-        link: per-hop delay/loss model.
+        link: per-hop delay/loss model -- either one
+            :class:`~repro.net.links.LinkModel` for every hop (the
+            backward-compatible path) or a
+            :class:`~repro.net.links.LinkTable` with per-edge overrides.
         rng: drives link losses and source jitter.
         metrics: optional shared metrics collector.
         suspicious: predicate choosing which delivered packets are fed to
@@ -49,6 +64,8 @@ class NetworkSimulation:
             ``sink.receive`` inline, and :meth:`run` flushes the pipeline
             after the event queue drains so the sink's verdict reflects
             every delivered packet.
+        repair: retry/backoff policy for dead-next-hop detection; the
+            default :class:`~repro.routing.repair.RepairPolicy` applies.
     """
 
     def __init__(
@@ -57,26 +74,41 @@ class NetworkSimulation:
         routing: RoutingTable,
         behaviors: Mapping[int, ForwardingBehavior],
         sink: TracebackSink,
-        link: LinkModel | None = None,
+        link: LinkModel | LinkTable | None = None,
         rng: random.Random | None = None,
         metrics: MetricsCollector | None = None,
         suspicious: Callable[[MarkedPacket], bool] | None = None,
         tracer: PacketTracer | None = None,
         ingest: object | None = None,
+        repair: RepairPolicy | None = None,
     ):
         self.topology = topology
         self.routing = routing
         self.behaviors = dict(behaviors)
         self.sink = sink
-        self.link = link if link is not None else LinkModel()
+        if isinstance(link, LinkTable):
+            self.links = link
+        else:
+            self.links = LinkTable(default=link)
         self.rng = rng if rng is not None else random.Random(0)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.suspicious = suspicious if suspicious is not None else (lambda _: True)
         self.tracer = tracer
         self.ingest = ingest
+        self.repair_policy = repair if repair is not None else RepairPolicy()
         self.sim = Simulator()
         self.delivered: list[MarkedPacket] = []
         self._quarantined: set[int] = set()
+        self._down: set[int] = set()
+        #: Callbacks fired after every radio transmission with
+        #: ``(node_id, packet_len)`` -- the fault injector's energy
+        #: bookkeeping hook.
+        self.transmission_listeners: list[Callable[[int, int], None]] = []
+
+    @property
+    def link(self) -> LinkModel:
+        """The default link model (backward-compatible accessor)."""
+        return self.links.default
 
     # Isolation ---------------------------------------------------------------
 
@@ -93,6 +125,36 @@ class NetworkSimulation:
     @property
     def quarantined(self) -> frozenset[int]:
         return frozenset(self._quarantined)
+
+    # Liveness ----------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take ``node_id`` down (crash or energy depletion).
+
+        A down node neither injects, forwards, nor receives; packets in
+        flight toward it die on arrival, and senders detect the silence
+        through the retry/backoff policy.
+
+        Raises:
+            ValueError: if the sink is targeted -- the sink is trusted
+                and assumed always up (Section 2.2).
+        """
+        if node_id == self.topology.sink:
+            raise ValueError("the sink cannot fail")
+        self._down.add(node_id)
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a previously failed node back up."""
+        self._down.discard(node_id)
+
+    def node_is_down(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently failed."""
+        return node_id in self._down
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        """All currently failed nodes."""
+        return frozenset(self._down)
 
     # Traffic scheduling ------------------------------------------------------
 
@@ -130,6 +192,10 @@ class NetworkSimulation:
             self.sim.schedule_at(start, lambda: inject(count))
 
     def _inject(self, source: ReportSource) -> None:
+        if source.node_id in self._down:
+            # A crashed sensor generates nothing; the injection slot is
+            # simply skipped (no energy spent, no trace event).
+            return
         packet = source.next_packet(timestamp=int(self.sim.now * 1000))
         self.metrics.record_injection()
         self._trace("inject", source.node_id, packet)
@@ -142,25 +208,87 @@ class NetworkSimulation:
     # Forwarding --------------------------------------------------------------
 
     def _transmit(
-        self, from_node: int, packet: MarkedPacket, injected_at: float
+        self,
+        from_node: int,
+        packet: MarkedPacket,
+        injected_at: float,
+        attempt: int = 0,
     ) -> None:
-        """Send ``packet`` from ``from_node`` toward its next hop."""
+        """Send ``packet`` from ``from_node`` toward its next hop.
+
+        ``attempt`` counts retransmissions toward the *current* next hop;
+        it resets to zero after a successful route repair.
+        """
         if from_node in self._quarantined:
             # Neighbors ignore transmissions from quarantined nodes; the
             # packet dies at this hop without consuming downstream energy.
             self.metrics.record_drop()
             return
-        next_hop = self.routing.next_hop(from_node)
+        if from_node in self._down:
+            # The node crashed while this packet sat in its send queue.
+            self.metrics.record_fault()
+            self._trace("fault", from_node, packet)
+            return
+        try:
+            next_hop = self.routing.next_hop(from_node)
+        except RoutingError:
+            # Churn cut this node off from the sink entirely.
+            self.metrics.record_fault()
+            self._trace("fault", from_node, packet)
+            return
+        if next_hop != self.topology.sink and next_hop in self._down:
+            self._retry_or_repair(from_node, next_hop, packet, injected_at, attempt)
+            return
         self.metrics.record_transmission(from_node, packet.wire_len)
-        if not self.link.is_delivered(self.rng):
+        self._notify_transmission(from_node, packet.wire_len)
+        model = self.links.model_for(from_node, next_hop)
+        if not model.is_delivered(self.rng):
             self.metrics.record_loss()
             self._trace("loss", from_node, packet)
             return
-        delay = self.link.transmission_delay(packet.wire_len)
+        delay = model.transmission_delay(packet.wire_len)
         self.sim.schedule(
             delay,
             lambda: self._arrive(next_hop, from_node, packet, injected_at),
         )
+
+    def _retry_or_repair(
+        self,
+        from_node: int,
+        next_hop: int,
+        packet: MarkedPacket,
+        injected_at: float,
+        attempt: int,
+    ) -> None:
+        """Handle an unresponsive next hop: backoff retries, then repair."""
+        if attempt < self.repair_policy.max_retries:
+            # The failed attempt still cost a transmission (no ack came
+            # back); retry after backoff in case the hop recovers.
+            self.metrics.record_transmission(from_node, packet.wire_len)
+            self._notify_transmission(from_node, packet.wire_len)
+            self.sim.schedule(
+                self.repair_policy.backoff_delay(attempt),
+                lambda: self._transmit(
+                    from_node, packet, injected_at, attempt=attempt + 1
+                ),
+            )
+            return
+        mark_dead = getattr(self.routing, "mark_dead", None)
+        if mark_dead is not None:
+            mark_dead(next_hop)
+            self._trace("repair", from_node, packet)
+            # Re-enter with a fresh attempt budget; if the repaired route
+            # starts with another dead hop the cycle repeats, and it
+            # terminates because every repair removes one distinct node.
+            self._transmit(from_node, packet, injected_at, attempt=0)
+            return
+        # Static routing cannot recover: the packet dies to the fault.
+        self.metrics.record_fault()
+        self._trace("fault", from_node, packet)
+
+    def _notify_transmission(self, node_id: int, packet_len: int) -> None:
+        for listener in self.transmission_listeners:
+            listener(node_id, packet_len)
 
     def _arrive(
         self,
@@ -171,6 +299,11 @@ class NetworkSimulation:
     ) -> None:
         if node == self.topology.sink:
             self._deliver(packet, delivering_node=from_node, injected_at=injected_at)
+            return
+        if node in self._down:
+            # The receiver crashed while the packet was in flight.
+            self.metrics.record_fault()
+            self._trace("fault", node, packet)
             return
         behavior = self.behaviors.get(node)
         if behavior is None:

@@ -13,6 +13,7 @@ that survives marking).
 from __future__ import annotations
 
 import hashlib
+import json
 from collections import Counter
 from dataclasses import dataclass
 
@@ -20,8 +21,11 @@ from repro.packets.report import Report
 
 __all__ = ["TraceEvent", "PacketTracer"]
 
-#: Event kinds emitted by the simulator.
-EVENT_KINDS = ("inject", "forward", "drop", "loss", "deliver")
+#: Event kinds emitted by the simulator.  ``fault`` marks a packet that
+#: died to an injected failure (dead node, no surviving route) rather
+#: than to filtering or mole activity; ``repair`` marks the packet whose
+#: retries triggered a route repair at that node.
+EVENT_KINDS = ("inject", "forward", "drop", "loss", "deliver", "fault", "repair")
 
 
 def _packet_key(report: Report) -> bytes:
@@ -45,6 +49,15 @@ class TraceEvent:
     kind: str
     node: int
     packet_key: bytes
+
+    def as_dict(self) -> dict[str, object]:
+        """The event as a JSON-ready dict (packet key hex-encoded)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "node": self.node,
+            "packet": self.packet_key.hex(),
+        }
 
 
 class PacketTracer:
@@ -89,13 +102,31 @@ class PacketTracer:
         events = self.journey(report)
         return events[-1].kind if events else "unknown"
 
-    def drop_locations(self) -> Counter[int]:
-        """Node -> intentional drops there (filtering or mole activity)."""
-        return Counter(e.node for e in self.events if e.kind == "drop")
+    def _locations(self, kind: str) -> dict[int, int]:
+        """Node -> events of ``kind`` there, ascending node order.
 
-    def loss_locations(self) -> Counter[int]:
+        Deterministic sorted order on purpose: these summaries feed merge
+        and attribution logic, which must not depend on event insertion
+        order (the RL004 determinism contract).
+        """
+        counter = Counter(e.node for e in self.events if e.kind == kind)
+        return {node: counter[node] for node in sorted(counter)}
+
+    def drop_locations(self) -> dict[int, int]:
+        """Node -> intentional drops there (filtering or mole activity)."""
+        return self._locations("drop")
+
+    def loss_locations(self) -> dict[int, int]:
         """Node -> radio losses on that node's transmissions."""
-        return Counter(e.node for e in self.events if e.kind == "loss")
+        return self._locations("loss")
+
+    def fault_locations(self) -> dict[int, int]:
+        """Node -> packets that died there to an injected failure."""
+        return self._locations("fault")
+
+    def repair_locations(self) -> dict[int, int]:
+        """Node -> route repairs triggered by that node's retries."""
+        return self._locations("repair")
 
     def counts(self) -> dict[str, int]:
         """Events per kind."""
@@ -111,6 +142,24 @@ class PacketTracer:
             f"t={e.time:9.4f} {e.kind:8s} @ node {e.node}" for e in events
         ]
         return "\n".join(lines)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The full trace as JSON: events, per-kind counts, summaries.
+
+        Locations are keyed by node in ascending order and events appear
+        in recording (time) order, so equal runs serialize byte-identically.
+        """
+        payload = {
+            "max_events": self.max_events,
+            "truncated": self.truncated,
+            "counts": self.counts(),
+            "drop_locations": self.drop_locations(),
+            "loss_locations": self.loss_locations(),
+            "fault_locations": self.fault_locations(),
+            "repair_locations": self.repair_locations(),
+            "events": [e.as_dict() for e in self.events],
+        }
+        return json.dumps(payload, indent=indent)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,36 @@
+"""The faults-sweep experiment: churn vs delivery and accusations."""
+
+from repro.experiments import faults_sweep
+from repro.experiments.cli import _SINGLE_RUNNERS
+from repro.experiments.presets import CI
+
+
+class TestFaultsSweep:
+    def test_registered_in_cli(self):
+        assert _SINGLE_RUNNERS["faults-sweep"] is faults_sweep.run
+
+    def test_ci_preset_end_to_end(self):
+        result = faults_sweep.run(CI)
+        assert result.figure_id == "faults-sweep"
+        assert len(result.rows) == len(faults_sweep.CHURN_RATES)
+        assert len(faults_sweep.CHURN_RATES) >= 3
+        # The headline acceptance claim: all-honest churn never produces
+        # a false accusation, at any swept rate.
+        for rate in result.column("false_acc_rate"):
+            assert rate == 0.0
+        for ratio in result.column("delivery_ratio"):
+            assert 0.0 <= ratio <= 1.0
+        # The zero-churn row is the static-network control: full delivery,
+        # nothing faulted, no repairs.
+        first = result.as_dicts()[0]
+        assert first["churn_rate"] == 0.0
+        assert first["delivery_ratio"] == 1.0
+        assert first["repairs"] == 0
+        # The mole is still identified under every churn rate.
+        assert all(result.column("mole_identified"))
+
+    def test_render_smoke(self):
+        result = faults_sweep.run(CI)
+        text = result.render()
+        assert "faults-sweep" in text
+        assert "false_acc_rate" in text

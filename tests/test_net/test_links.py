@@ -52,3 +52,53 @@ class TestLoss:
             LinkModel(base_delay=-1)
         with pytest.raises(ValueError):
             LinkModel(bitrate_bps=-5)
+
+
+class TestLinkTable:
+    def test_default_for_every_edge(self):
+        from repro.net.links import LinkTable
+
+        table = LinkTable()
+        assert table.model_for(1, 2) is table.default
+        assert len(table) == 0
+
+    def test_override_is_directed(self):
+        from repro.net.links import LinkTable
+
+        slow = LinkModel(base_delay=0.5)
+        table = LinkTable()
+        table.set_override(1, 2, slow)
+        assert table.model_for(1, 2) is slow
+        assert table.model_for(2, 1) is table.default
+        assert table.overridden_edges() == [(1, 2)]
+        assert len(table) == 1
+
+    def test_clear_override(self):
+        from repro.net.links import LinkTable
+
+        table = LinkTable()
+        table.set_override(3, 4, LinkModel(loss_prob=0.5))
+        assert table.clear_override(3, 4) is True
+        assert table.clear_override(3, 4) is False
+        assert table.model_for(3, 4) is table.default
+
+    def test_self_loop_rejected(self):
+        from repro.net.links import LinkTable
+
+        with pytest.raises(ValueError):
+            LinkTable().set_override(2, 2, LinkModel())
+
+    def test_overridden_edges_sorted(self):
+        from repro.net.links import LinkTable
+
+        table = LinkTable()
+        for edge in ((9, 1), (2, 3), (2, 1)):
+            table.set_override(*edge, LinkModel())
+        assert table.overridden_edges() == [(2, 1), (2, 3), (9, 1)]
+
+    def test_constructor_overrides(self):
+        from repro.net.links import LinkTable
+
+        fast = LinkModel(base_delay=0.0001)
+        table = LinkTable(default=LinkModel(), overrides={(1, 2): fast})
+        assert table.model_for(1, 2) is fast

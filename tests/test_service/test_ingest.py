@@ -216,6 +216,56 @@ class TestRevocationInvalidation:
         assert service.cache.invalidations == 1
 
 
+class TestFaultInvalidation:
+    """A faulted node's packets stop mid-stream; cached state must go."""
+
+    def test_invalidate_node_purges_cache_and_counts(self, deployment):
+        service = SinkIngestService(make_sink(deployment))
+        for packet in stream(deployment[1], 4):
+            service.submit(packet, N_FORWARDERS)
+        service.flush()
+        assert service.cache.stats()["tables_cached"] > 0
+        assert 3 in (service.cache.hot_ids() or [])
+        service.invalidate_node(3)
+        assert 3 not in (service.cache.hot_ids() or [])
+        assert service.cache.stats()["tables_cached"] == 0
+        assert service.cache.invalidations == 1
+        assert service.stats().cache["invalidations"] == 1
+
+    def test_invalidate_node_without_cache_is_noop(self, deployment):
+        service = SinkIngestService(make_sink(deployment), enable_cache=False)
+        service.invalidate_node(3)  # no raise
+        assert service.cache is None
+
+    def test_crash_mid_stream_keeps_verdict_equal_to_serial(self, deployment):
+        """Regression: a node crashing mid-run (fault injector calls
+        ``invalidate_node``) must leave no stale cache entries, and the
+        service verdict must match a serial sink fed the same stream."""
+        topology, store, _source = deployment
+        packets = stream(store, 8)
+        crashed = 3
+
+        serial = make_sink(deployment)
+        for packet in packets:
+            serial.receive(packet, N_FORWARDERS)
+
+        service = SinkIngestService(make_sink(deployment))
+        for i, packet in enumerate(packets):
+            service.submit(packet, N_FORWARDERS)
+            if i == 3:
+                service.flush()
+                # Mid-stream crash of forwarder 3: the injector purges
+                # its cached resolver state exactly like this.
+                service.invalidate_node(crashed)
+                assert crashed not in (service.cache.hot_ids() or [])
+        processed = service.flush()
+        assert processed >= 0
+        stats = service.stats()
+        assert stats.processed == len(packets)
+        assert stats.cache["invalidations"] == 1
+        assert service.verdict() == serial.verdict()
+
+
 class TestSimIntegration:
     def test_network_simulation_feeds_service(self, deployment):
         topology, store, source_id = deployment

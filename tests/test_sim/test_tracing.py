@@ -121,3 +121,54 @@ class TestPacketTracer:
         tracer = PacketTracer()
         with pytest.raises(ValueError, match="kind"):
             tracer.record(0.0, "teleport", 1, Report(event=b"", location=(0, 0), timestamp=0))
+
+    def test_fault_and_repair_are_known_kinds(self):
+        tracer = PacketTracer()
+        report = Report(event=b"f", location=(0, 0), timestamp=1)
+        tracer.record(1.0, "fault", 4, report)
+        tracer.record(2.0, "repair", 2, report)
+        assert tracer.counts()["fault"] == 1
+        assert tracer.counts()["repair"] == 1
+        assert tracer.fault_locations() == {4: 1}
+        assert tracer.repair_locations() == {2: 1}
+
+
+class TestLocationOrderingAndJson:
+    def test_locations_sorted_by_node(self):
+        tracer = PacketTracer()
+        report = Report(event=b"o", location=(0, 0), timestamp=1)
+        for node in (9, 2, 7, 2):
+            tracer.record(0.0, "drop", node, report)
+        locations = tracer.drop_locations()
+        assert list(locations) == [2, 7, 9]
+        assert locations == {2: 2, 7: 1, 9: 1}
+
+    def test_to_json_round_trips(self):
+        import json
+
+        tracer = PacketTracer()
+        sim, topo, source_id = traced_simulation(loss_prob=0.3, tracer=tracer)
+        source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+        sim.add_periodic_source(source, interval=0.05, count=20)
+        sim.run()
+        payload = json.loads(tracer.to_json())
+        assert payload["max_events"] == tracer.max_events
+        assert payload["truncated"] is False
+        assert payload["counts"] == tracer.counts()
+        assert len(payload["events"]) == len(tracer)
+        first = payload["events"][0]
+        assert set(first) == {"time", "kind", "node", "packet"}
+        assert {int(k): v for k, v in payload["loss_locations"].items()} == (
+            tracer.loss_locations()
+        )
+
+    def test_to_json_deterministic_across_equal_runs(self):
+        def run():
+            tracer = PacketTracer()
+            sim, topo, source_id = traced_simulation(loss_prob=0.2, tracer=tracer)
+            source = BogusReportSource(source_id, (6.0, 0.0), random.Random(2))
+            sim.add_periodic_source(source, interval=0.05, count=15)
+            sim.run()
+            return tracer.to_json(indent=2)
+
+        assert run() == run()
