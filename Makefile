@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench experiments experiments-full faults examples clean
+.PHONY: install test lint bench experiments experiments-full faults obs examples clean
 
 install:
 	pip install -e .
@@ -26,6 +26,13 @@ experiments-full:
 # Traceback under churn: crashes, repairs, false accusations (docs/faults.md).
 faults:
 	python -m repro.experiments.cli faults-sweep --preset quick
+
+# Observed runs: manifests + metrics + spans, then the text report
+# (docs/observability.md).
+obs:
+	python -m repro.experiments.cli faults-sweep --preset ci --obs-dir obs-artifacts
+	python -m repro.experiments.cli service-sweep --preset ci --obs-dir obs-artifacts
+	python -m repro.obs report obs-artifacts
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,82 @@
+"""Observability overhead: instrumentation must stay in the noise.
+
+The obs layer promises near-zero cost when disabled and small, bounded
+cost when enabled.  This gate runs the same sink-verification workload
+under the no-op provider and under a fully live provider (registry +
+tracer + timers) and asserts the instrumented wall time stays within 15%
+of the no-op baseline.  Best-of-N with alternating order so scheduler
+noise hits both variants equally.
+"""
+
+import time
+
+import pytest
+
+from repro.crypto.mac import HmacProvider
+from repro.experiments.service_sweep import build_workload
+from repro.marking.pnm import PNMMarking
+from repro.obs import NOOP, ObsProvider, Tracer
+from repro.traceback.sink import TracebackSink
+
+GRID_SIDE = 16
+PACKETS = 120
+ROUNDS = 5
+MAX_OVERHEAD = 1.15
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(GRID_SIDE, PACKETS)
+
+
+def run_sink(workload, obs) -> float:
+    """One full ingest pass under ``obs``; returns elapsed seconds."""
+    topology, keystore, stream, delivering = workload
+    sink = TracebackSink(
+        PNMMarking(mark_prob=1.0), keystore, HmacProvider(), topology, obs=obs
+    )
+    start = time.perf_counter()
+    for packet in stream:
+        sink.receive(packet, delivering)
+    elapsed = time.perf_counter() - start
+    assert sink.packets_received == PACKETS
+    return elapsed
+
+
+class TestOverheadGate:
+    def test_instrumented_run_is_within_15_percent_of_noop(self, workload):
+        # Plain wall-clock, deliberately not benchmark-fixture based, so
+        # the gate runs (and fails loudly) on every benchmark invocation.
+        run_sink(workload, NOOP)  # warm caches before timing anything
+        noop_times = []
+        live_times = []
+        for round_index in range(ROUNDS):
+            live = ObsProvider(tracer=Tracer())
+            if round_index % 2 == 0:
+                noop_times.append(run_sink(workload, NOOP))
+                live_times.append(run_sink(workload, live))
+            else:
+                live_times.append(run_sink(workload, live))
+                noop_times.append(run_sink(workload, NOOP))
+        ratio = min(live_times) / min(noop_times)
+        assert ratio <= MAX_OVERHEAD, (
+            f"instrumentation overhead {ratio:.3f}x exceeds "
+            f"{MAX_OVERHEAD}x (noop {min(noop_times):.4f}s, "
+            f"live {min(live_times):.4f}s)"
+        )
+
+    def test_live_provider_actually_recorded(self, workload):
+        live = ObsProvider(tracer=Tracer())
+        run_sink(workload, live)
+        registry = live.registry
+        assert registry.counter("marks_verified_total").get() > 0
+        assert registry.histogram("verify_packet_seconds").data().count == PACKETS
+        assert len(live.tracer) > 0  # verify/verdict event spans
+
+
+class TestBenchObs:
+    def test_bench_noop_instrumented_sink(self, benchmark, workload):
+        benchmark(run_sink, workload, NOOP)
+
+    def test_bench_live_instrumented_sink(self, benchmark, workload):
+        benchmark(run_sink, workload, ObsProvider(tracer=Tracer()))

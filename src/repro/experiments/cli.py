@@ -11,9 +11,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Callable
 
+from repro import obs as obs_pkg
 from repro.experiments import (
     ablations,
     approaches,
@@ -91,7 +93,42 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="additionally append the rendered tables to FILE",
     )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "capture observability per experiment: DIR/<name>/ gets "
+            "manifest.json, metrics.json, metrics.prom and spans.jsonl "
+            "(render them with 'python -m repro.obs report DIR')"
+        ),
+    )
     return parser
+
+
+def _run_observed(
+    runner: Callable[[Preset], FigureResult],
+    name: str,
+    preset: Preset,
+    obs_dir: str,
+) -> FigureResult:
+    """Run one experiment under a fresh obs provider; write its artifacts."""
+    run_dir = os.path.join(obs_dir, name)
+    os.makedirs(run_dir, exist_ok=True)
+    tracer = obs_pkg.Tracer()
+    provider = obs_pkg.ObsProvider(tracer=tracer)
+    manifest = obs_pkg.RunManifest.begin(name, preset=preset.name)
+    with obs_pkg.use_provider(provider):
+        result = runner(preset)
+    manifest.extra["notes"] = list(result.notes)
+    manifest.finish(metrics=provider.registry.snapshot())
+    manifest.write(os.path.join(run_dir, "manifest.json"))
+    with open(os.path.join(run_dir, "metrics.json"), "w", encoding="utf-8") as fh:
+        fh.write(obs_pkg.registry_to_json(provider.registry, indent=2) + "\n")
+    with open(os.path.join(run_dir, "metrics.prom"), "w", encoding="utf-8") as fh:
+        fh.write(obs_pkg.to_prometheus_text(provider.registry))
+    tracer.write_jsonl(os.path.join(run_dir, "spans.jsonl"))
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -107,7 +144,10 @@ def main(argv: list[str] | None = None) -> int:
     sections: list[str] = []
     for name in names:
         runner = _SINGLE_RUNNERS.get(name) or _ABLATION_RUNNERS[name]
-        result = runner(preset)
+        if args.obs_dir:
+            result = _run_observed(runner, name, preset, args.obs_dir)
+        else:
+            result = runner(preset)
         rendered = result.render()
         if args.plot:
             from repro.experiments.plotting import render_figure_chart

@@ -42,6 +42,7 @@ from repro.sim.behaviors import HonestForwarder
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import NetworkSimulation
 from repro.sim.sources import HonestReportSource
+from repro.obs.profiling import get_default_provider
 from repro.sim.tracing import PacketTracer
 from repro.traceback.sink import TracebackSink
 
@@ -93,7 +94,9 @@ def _run_once(
         )
 
     sink = TracebackSink(scheme, keystore, provider, topology)
-    tracer = PacketTracer()
+    # The span bridge engages only under an observed run (``--obs-dir``);
+    # the NOOP provider carries no tracer, so spans stay off by default.
+    tracer = PacketTracer(spans=get_default_provider().tracer)
     sim = NetworkSimulation(
         topology=topology,
         routing=routing,

@@ -102,6 +102,7 @@ def _time_service(
         service.flush()
         elapsed = time.perf_counter() - start
         cache_stats = service.stats().cache or {}
+        service.publish_stats()
         return elapsed, sink, cache_stats.get("hot_hit_rate", 0.0)
     finally:
         service.close(drain=False)

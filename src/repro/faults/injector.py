@@ -188,6 +188,7 @@ class FaultInjector:
         self.applied.append(
             AppliedFault(time=self.sim.sim.now, kind=kind, node=node, edge=edge)
         )
+        self.sim.obs.inc("faults_applied_total", kind=kind)
 
     def _open_interval(self, intervals: dict, key: object) -> None:
         intervals.setdefault(key, []).append([self.sim.sim.now, math.inf])

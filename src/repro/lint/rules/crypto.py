@@ -48,6 +48,7 @@ _RL002_SCOPE = (
     "repro/marking/",
     "repro/adversary/",
     "repro/faults/",
+    "repro/obs/",
 )
 
 

@@ -26,7 +26,12 @@ from repro.lint.walker import FileContext
 
 __all__ = ["UnsortedSetIterationRule", "WallClockInSimulationRule"]
 
-_RL004_SCOPE = ("repro/traceback/", "repro/service/", "repro/faults/")
+_RL004_SCOPE = (
+    "repro/traceback/",
+    "repro/service/",
+    "repro/faults/",
+    "repro/obs/",
+)
 
 _RL006_SCOPE = (
     "repro/sim/",
@@ -37,6 +42,7 @@ _RL006_SCOPE = (
     "repro/filtering/",
     "repro/tracealt/",
     "repro/faults/",
+    "repro/obs/",
 )
 
 _WALL_CLOCK_CALLS = {

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.obs report <path>``."""
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

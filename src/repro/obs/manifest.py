@@ -1,0 +1,147 @@
+"""Run manifests: machine-readable provenance for one experiment run.
+
+A manifest answers "what produced this artifact?" months later: the exact
+CLI arguments, preset, seed, git revision, interpreter, wall time, and
+the final metrics snapshot of the run, in one sorted JSON document next
+to the outputs.  ``python -m repro.obs report`` renders manifests (and
+their sibling span files) back into readable tables.
+
+This module is the one place in the instrumented tree that may read the
+wall clock directly: provenance timestamps are *about* real time, unlike
+simulation results, which must never depend on it (the RL006 contract).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RunManifest", "git_revision"]
+
+
+def git_revision(cwd: str | None = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout.
+
+    Provenance is best-effort by design: a missing ``git`` binary, a
+    tarball checkout, or a timeout all degrade to ``"unknown"`` rather
+    than failing the run that the manifest is meant to describe.
+    """
+    try:
+        proc = subprocess.run(  # noqa: S603
+            ["git", "rev-parse", "HEAD"],  # noqa: S607
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=cwd,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Provenance for one experiment run.
+
+    Attributes:
+        name: the experiment's name (``fig6``, ``faults-sweep``, ...).
+        argv: the CLI argument vector that launched the run.
+        preset: the sizing preset used (``paper``, ``smoke``, ...).
+        seed: the run's base RNG seed (``None`` if not seed-driven).
+        started_unix: wall-clock start, seconds since the epoch.
+        wall_seconds: elapsed wall time of the run.
+        git_rev: git commit hash of the working tree (or ``"unknown"``).
+        python: interpreter version string.
+        platform: ``sys.platform`` of the producing host.
+        metrics: final :meth:`repro.obs.MetricsRegistry.snapshot` of the
+            run (empty dict when observability was off).
+        extra: free-form extras (result summaries, artifact paths...).
+    """
+
+    name: str
+    argv: list[str] = field(default_factory=list)
+    preset: str = ""
+    seed: int | None = None
+    started_unix: float = 0.0
+    wall_seconds: float = 0.0
+    git_rev: str = "unknown"
+    python: str = ""
+    platform: str = ""
+    metrics: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def begin(
+        cls,
+        name: str,
+        argv: list[str] | None = None,
+        preset: str = "",
+        seed: int | None = None,
+    ) -> "RunManifest":
+        """Open a manifest at run start, stamping environment provenance."""
+        return cls(
+            name=name,
+            argv=list(sys.argv if argv is None else argv),
+            preset=preset,
+            seed=seed,
+            started_unix=time.time(),  # lint: disable=RL006
+            git_rev=git_revision(cwd=os.path.dirname(os.path.abspath(__file__))),
+            python=sys.version.split()[0],
+            platform=sys.platform,
+        )
+
+    def finish(self, metrics: dict[str, Any] | None = None) -> "RunManifest":
+        """Stamp the elapsed wall time (and final metrics); returns self."""
+        self.wall_seconds = time.time() - self.started_unix  # lint: disable=RL006
+        if metrics is not None:
+            self.metrics = metrics
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """The manifest as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "argv": list(self.argv),
+            "preset": self.preset,
+            "seed": self.seed,
+            "started_unix": self.started_unix,
+            "wall_seconds": self.wall_seconds,
+            "git_rev": self.git_rev,
+            "python": self.python,
+            "platform": self.platform,
+            "metrics": self.metrics,
+            "extra": self.extra,
+        }
+
+    def write(self, path: str) -> None:
+        """Write the manifest to ``path`` as sorted, indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        """Read a manifest previously written by :meth:`write`."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(
+            name=payload.get("name", ""),
+            argv=list(payload.get("argv", [])),
+            preset=payload.get("preset", ""),
+            seed=payload.get("seed"),
+            started_unix=payload.get("started_unix", 0.0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            git_rev=payload.get("git_rev", "unknown"),
+            python=payload.get("python", ""),
+            platform=payload.get("platform", ""),
+            metrics=payload.get("metrics", {}),
+            extra=payload.get("extra", {}),
+        )

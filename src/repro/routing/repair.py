@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.net.topology import Topology
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
 from repro.routing.base import RoutingTable
 
 __all__ = ["RepairPolicy", "RepairingRoutingTable"]
@@ -92,9 +93,18 @@ class RepairingRoutingTable(RoutingTable):
         topology: the deployment graph (connectivity never changes; only
             liveness does).
         base: initial routes; defaults to the deterministic BFS tree.
+        obs: observability provider; ``None`` resolves to the process
+            default.  Rebuilds are timed (``route_rebuild_seconds``) and
+            counted (``route_repairs_total``).
     """
 
-    def __init__(self, topology: Topology, base: RoutingTable | None = None):
+    def __init__(
+        self,
+        topology: Topology,
+        base: RoutingTable | None = None,
+        obs: ObsProvider | NoopObsProvider | None = None,
+    ):
+        self.obs = resolve_provider(obs)
         if base is None:
             # Equivalent to build_routing_tree(topology) but shares the
             # rebuild path so initial and repaired routes agree in style.
@@ -174,17 +184,19 @@ class RepairingRoutingTable(RoutingTable):
         return frozenset(self._dead)
 
     def _rebuild(self) -> int:
-        old = dict(self._next_hop)
-        new = self._tree_over(self.topology, dead=frozenset(self._dead))
-        self._next_hop.clear()
-        self._next_hop.update(new)
-        changed = sum(
-            1
-            for node in set(old) | set(new)
-            if old.get(node) != new.get(node)
-        )
+        with self.obs.timer("route_rebuild_seconds"):
+            old = dict(self._next_hop)
+            new = self._tree_over(self.topology, dead=frozenset(self._dead))
+            self._next_hop.clear()
+            self._next_hop.update(new)
+            changed = sum(
+                1
+                for node in sorted(set(old) | set(new))
+                if old.get(node) != new.get(node)
+            )
         self.repairs += 1
         self.routes_changed += changed
+        self.obs.inc("route_repairs_total")
         return changed
 
     def __repr__(self) -> str:

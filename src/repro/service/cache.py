@@ -199,6 +199,19 @@ class ResolverCache:
             "invalidations": self.invalidations,
         }
 
+    def publish(self, obs: Any) -> None:
+        """Mirror the cache counters into an obs provider's registry.
+
+        Gauges, not counters: a publish reflects current totals and must
+        overwrite what the previous publish wrote.  Called at snapshot
+        time (not per lookup) so the memoization hot path stays untouched.
+        """
+        stats = self.stats()
+        for name in sorted(stats):
+            value = stats[name]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                obs.set_gauge(f"resolver_cache_{name}", value)
+
     def __repr__(self) -> str:
         return (
             f"ResolverCache(tables={len(self._tables)}, hot={len(self._hot)})"

@@ -21,6 +21,8 @@ from __future__ import annotations
 import time
 
 from repro.isolation.revocation import RevocationList, RevocationRecord
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import Span, report_key
 from repro.packets.packet import MarkedPacket
 from repro.service.cache import CachingResolver, ResolverCache
 from repro.service.pool import VerificationPool
@@ -51,6 +53,11 @@ class SinkIngestService:
         table_capacity / hot_capacity: cache bounds.
         revocations: when given, the service subscribes to it and
             invalidates cached state for every newly revoked node.
+        obs: observability provider; ``None`` inherits the sink's, so the
+            whole pipeline reports into one registry/tracer.  Adds intake
+            counters, a queue-depth gauge, per-packet ``queue`` spans
+            (opened at submit, closed when the batch takes the packet),
+            and a registry mirror of the verify-latency histogram.
     """
 
     def __init__(
@@ -64,8 +71,11 @@ class SinkIngestService:
         table_capacity: int = 256,
         hot_capacity: int = 256,
         revocations: RevocationList | None = None,
+        obs: ObsProvider | NoopObsProvider | None = None,
     ):
         self.sink = sink
+        self.obs = sink.obs if obs is None else resolve_provider(obs)
+        self._open_queue_spans: dict[bytes, Span] = {}
         base = sink.verifier
         self.cache: ResolverCache | None = (
             ResolverCache(
@@ -96,6 +106,7 @@ class SinkIngestService:
             table_factory=(
                 self.cache.resolution_table if self.cache is not None else None
             ),
+            obs=self.obs,
         )
         self.queue: IngestQueue[tuple[MarkedPacket, int]] = IngestQueue(
             capacity=capacity, policy=drop_policy
@@ -123,7 +134,18 @@ class SinkIngestService:
         """
         if self._closed:
             raise RuntimeError("cannot submit to a closed SinkIngestService")
-        return self.queue.offer((packet, delivering_node))
+        accepted = self.queue.offer((packet, delivering_node))
+        self.obs.inc("ingest_submitted_total")
+        if not accepted:
+            self.obs.inc("ingest_dropped_total")
+        self.obs.set_gauge("ingest_queue_depth", self.queue.depth)
+        tracer = self.obs.tracer
+        if tracer is not None and accepted:
+            key = report_key(packet.report)
+            self._open_queue_spans[key] = tracer.chain(
+                key, "queue", depth=self.queue.depth
+            )
+        return accepted
 
     # Processing --------------------------------------------------------------
 
@@ -144,6 +166,10 @@ class SinkIngestService:
         if not items:
             return 0
         total = len(items)
+        self.obs.set_gauge("ingest_queue_depth", self.queue.depth)
+        if self.obs.tracer is not None:
+            for packet, _ in items:
+                self._close_queue_span(packet)
         start = time.perf_counter()
         if self.pool.is_parallel:
             if (
@@ -167,9 +193,22 @@ class SinkIngestService:
                 self._merge(self.verifier.verify(packet), delivering_node)
         elapsed = time.perf_counter() - start
         self.verify_latency.observe(elapsed / total, times=total)
+        self.obs.observe("ingest_verify_seconds", elapsed / total, times=total)
+        self.obs.inc("ingest_processed_total", total)
         self.processed += total
         self.batches += 1
         return total
+
+    def _close_queue_span(self, packet: MarkedPacket, dropped: bool = False) -> None:
+        """Finish the ``queue`` span opened when ``packet`` was submitted."""
+        tracer = self.obs.tracer
+        if tracer is None:
+            return
+        span = self._open_queue_spans.pop(report_key(packet.report), None)
+        if span is not None:
+            if dropped:
+                span.attrs["dropped"] = True
+            tracer.finish(span)
 
     def _merge(
         self, verification: PacketVerification, delivering_node: int
@@ -209,7 +248,17 @@ class SinkIngestService:
             return 0
         drained = self.flush() if drain else 0
         if not drain:
-            self.queue.take()
+            for packet, _ in self.queue.take():
+                self._close_queue_span(packet, dropped=True)
+        tracer = self.obs.tracer
+        if tracer is not None:
+            # Spans for packets shed by DROP_OLDEST (or never drained)
+            # would otherwise stay open and unrecorded.
+            for key in sorted(self._open_queue_spans):
+                span = self._open_queue_spans[key]
+                span.attrs["dropped"] = True
+                tracer.finish(span)
+            self._open_queue_spans.clear()
         self.queue.close()
         self.pool.shutdown()
         self._closed = True
@@ -260,6 +309,21 @@ class SinkIngestService:
     def stats_json(self, indent: int | None = None) -> str:
         """The :meth:`stats` snapshot rendered as JSON."""
         return self.stats().to_json(indent=indent)
+
+    def publish_stats(self) -> None:
+        """Mirror the pipeline's snapshot counters into the obs registry.
+
+        Run-end companion to the live counters the pipeline already
+        maintains: queue and cache totals become gauges named
+        ``ingest_queue_*`` / ``resolver_cache_*``.
+        """
+        queue_stats = self.queue.stats()
+        for name in sorted(queue_stats):
+            value = queue_stats[name]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.obs.set_gauge(f"ingest_queue_{name}", value)
+        if self.cache is not None:
+            self.cache.publish(self.obs)
 
     def __repr__(self) -> str:
         return (

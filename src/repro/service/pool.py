@@ -16,6 +16,7 @@ from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
 from repro.packets.packet import MarkedPacket
 from repro.traceback.verify import PacketVerification, PacketVerifier
 
@@ -34,10 +35,16 @@ class VerificationPool:
         workers: worker threads; ``0`` or ``1`` verifies serially inline.
         chunk_size: packets per submitted work item -- large enough to
             amortize future/queue overhead, small enough to load-balance.
+        obs: observability provider; ``None`` inherits the verifier's.
+            Counts batches and fanned-out chunks.
     """
 
     def __init__(
-        self, verifier: PacketVerifier, workers: int = 0, chunk_size: int = 32
+        self,
+        verifier: PacketVerifier,
+        workers: int = 0,
+        chunk_size: int = 32,
+        obs: ObsProvider | NoopObsProvider | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -46,6 +53,7 @@ class VerificationPool:
         self.verifier = verifier
         self.workers = workers
         self.chunk_size = chunk_size
+        self.obs = verifier.obs if obs is None else resolve_provider(obs)
         self._executor: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-verify"
@@ -63,12 +71,14 @@ class VerificationPool:
     ) -> list[PacketVerification]:
         """Verify ``packets``, returning results in submission order."""
         items = list(packets)
+        self.obs.inc("pool_batches_total")
         if self._executor is None or len(items) <= self.chunk_size:
             return self.verifier.verify_batch(items)
         chunks = [
             items[i : i + self.chunk_size]
             for i in range(0, len(items), self.chunk_size)
         ]
+        self.obs.inc("pool_chunks_total", len(chunks))
         futures = [
             self._executor.submit(self.verifier.verify_batch, chunk)
             for chunk in chunks

@@ -10,9 +10,10 @@ packets flow through, which is the point of running as a service.
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs.instruments import HistogramSeries
 
 __all__ = ["LatencyHistogram", "ServiceStats"]
 
@@ -21,65 +22,26 @@ _MIN_BUCKET = 1e-6
 _NUM_BUCKETS = 24
 
 
-class LatencyHistogram:
+class LatencyHistogram(HistogramSeries):
     """A log-bucketed latency histogram (seconds).
 
-    Buckets are powers of two starting at ``min_bucket``; observations
-    above the last bound land in an overflow bucket.  Thread-safe.
+    The seconds-flavored face of :class:`repro.obs.HistogramSeries`: same
+    power-of-two buckets and O(1) bucket assignment, but the JSON summary
+    keeps this module's historical ``_s``-suffixed keys, so dashboards and
+    tests reading ``mean_s``/``p99_s`` are unaffected by the move.
     """
 
     def __init__(
         self, min_bucket: float = _MIN_BUCKET, num_buckets: int = _NUM_BUCKETS
     ):
-        if min_bucket <= 0:
-            raise ValueError(f"min_bucket must be positive, got {min_bucket}")
-        if num_buckets < 1:
-            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
-        self._bounds = [min_bucket * (2.0**i) for i in range(num_buckets)]
-        # One extra bucket catches overflow past the largest bound.
-        self._counts = [0] * (num_buckets + 1)  # guarded-by: _lock
-        self._lock = threading.Lock()
-        self.count = 0  # guarded-by: _lock
-        self.total = 0.0  # guarded-by: _lock
-        self.min = float("inf")  # guarded-by: _lock
-        self.max = 0.0  # guarded-by: _lock
+        super().__init__(min_bucket=min_bucket, num_buckets=num_buckets)
 
     def observe(self, seconds: float, times: int = 1) -> None:
         """Record ``times`` observations of ``seconds`` each."""
-        if times < 1:
-            return
-        index = len(self._bounds)
-        for i, bound in enumerate(self._bounds):
-            if seconds <= bound:
-                index = i
-                break
-        with self._lock:
-            self._counts[index] += times
-            self.count += times
-            self.total += seconds * times
-            self.min = min(self.min, seconds)
-            self.max = max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket holding it."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"q must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, count in enumerate(self._counts):
-            cumulative += count
-            if cumulative >= rank:
-                return self._bounds[i] if i < len(self._bounds) else self.max
-        return self.max
+        super().observe(seconds, times=times)
 
     def as_dict(self) -> dict[str, Any]:
-        """Summary plus the non-empty buckets (``le`` upper bounds)."""
+        """Summary plus the non-empty buckets (``le_s`` upper bounds)."""
         with self._lock:
             counts = list(self._counts)
             count = self.count

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["MetricsCollector", "EnergyModel"]
 
@@ -118,6 +119,17 @@ class MetricsCollector:
             "packets_faulted": self.packets_faulted,
             "total_transmissions": self.total_transmissions,
             "total_bytes": self.total_bytes,
+            "delivery_ratio": self.delivery_ratio(),
             "energy_joules": self.energy_spent(),
             "mean_delivery_delay_s": self.mean_delivery_delay(),
         }
+
+    def publish(self, obs: Any) -> None:
+        """Mirror the headline counters into an obs provider's registry.
+
+        Called once at the end of a run (per-event mirroring would double
+        the hot path for no benefit); gauges are used because a fresh
+        publish must overwrite, not accumulate.
+        """
+        for name, value in sorted(self.summary().items()):
+            obs.set_gauge(f"sim_{name}", value)

@@ -23,6 +23,7 @@ from collections.abc import Callable, Mapping
 
 from repro.net.links import LinkModel, LinkTable
 from repro.net.topology import Topology
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
 from repro.packets.packet import MarkedPacket
 from repro.routing.base import RoutingError, RoutingTable
 from repro.routing.repair import RepairPolicy
@@ -66,6 +67,11 @@ class NetworkSimulation:
             every delivered packet.
         repair: retry/backoff policy for dead-next-hop detection; the
             default :class:`~repro.routing.repair.RepairPolicy` applies.
+        obs: observability provider; ``None`` resolves to the process
+            default.  :meth:`run` publishes the run's metrics summary into
+            its registry once the event queue drains; per-packet spans
+            come through the ``tracer``'s span bridge
+            (:class:`~repro.sim.tracing.PacketTracer`).
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class NetworkSimulation:
         tracer: PacketTracer | None = None,
         ingest: object | None = None,
         repair: RepairPolicy | None = None,
+        obs: ObsProvider | NoopObsProvider | None = None,
     ):
         self.topology = topology
         self.routing = routing
@@ -95,6 +102,7 @@ class NetworkSimulation:
         self.suspicious = suspicious if suspicious is not None else (lambda _: True)
         self.tracer = tracer
         self.ingest = ingest
+        self.obs = resolve_provider(obs)
         self.repair_policy = repair if repair is not None else RepairPolicy()
         self.sim = Simulator()
         self.delivered: list[MarkedPacket] = []
@@ -343,6 +351,8 @@ class NetworkSimulation:
             flush = getattr(self.ingest, "flush", None)
             if flush is not None:
                 flush()
+        if self.obs.enabled:
+            self.metrics.publish(self.obs)
 
     def __repr__(self) -> str:
         return (

@@ -7,16 +7,20 @@ event with its virtual timestamp, and can reconstruct any packet's journey
 or summarize drop locations.
 
 Packets are tracked by the digest of their report (the content identity
-that survives marking).
+that survives marking).  When given a span :class:`~repro.obs.Tracer`,
+the tracer doubles as the simulation side of cross-layer tracing: every
+lifecycle event also becomes a chained span keyed by the same digest, so
+the ingest service and sink can continue the packet's trace without ever
+touching simulator state.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 from collections import Counter
 from dataclasses import dataclass
 
+from repro.obs.spans import Tracer, report_key as _packet_key
 from repro.packets.report import Report
 
 __all__ = ["TraceEvent", "PacketTracer"]
@@ -26,10 +30,6 @@ __all__ = ["TraceEvent", "PacketTracer"]
 #: than to filtering or mole activity; ``repair`` marks the packet whose
 #: retries triggered a route repair at that node.
 EVENT_KINDS = ("inject", "forward", "drop", "loss", "deliver", "fault", "repair")
-
-
-def _packet_key(report: Report) -> bytes:
-    return hashlib.sha256(b"trace" + report.encode()).digest()[:8]
 
 
 @dataclass(frozen=True)
@@ -68,12 +68,18 @@ class PacketTracer:
             oldest events are NOT evicted -- recording simply stops, and
             :attr:`truncated` is set, because partial journeys are worse
             than a loud flag.
+        spans: optional span tracer; when set, every recorded event is
+            also emitted as a zero-duration chained span at the packet's
+            virtual timestamp, keyed by the packet's report digest.  The
+            journey log itself (:meth:`journey`, :meth:`to_json`) is
+            unchanged by the bridge.
     """
 
-    def __init__(self, max_events: int = 100_000):
+    def __init__(self, max_events: int = 100_000, spans: Tracer | None = None):
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_events = max_events
+        self.spans = spans
         self.events: list[TraceEvent] = []
         self.truncated = False
 
@@ -81,13 +87,14 @@ class PacketTracer:
         """Append one event (called by the simulator)."""
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
+        key = _packet_key(report)
+        if self.spans is not None:
+            self.spans.event(key, kind, time=time, node=node)
         if len(self.events) >= self.max_events:
             self.truncated = True
             return
         self.events.append(
-            TraceEvent(
-                time=time, kind=kind, node=node, packet_key=_packet_key(report)
-            )
+            TraceEvent(time=time, kind=kind, node=node, packet_key=key)
         )
 
     # Queries -----------------------------------------------------------------

@@ -21,6 +21,8 @@ from repro.crypto.keys import KeyStore
 from repro.crypto.mac import MacProvider
 from repro.marking.base import MarkingScheme
 from repro.net.topology import Topology
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import report_key
 from repro.packets.packet import MarkedPacket
 from repro.traceback.localize import SuspectNeighborhood, localize
 from repro.traceback.reconstruct import PrecedenceGraph, RouteAnalysis
@@ -59,6 +61,9 @@ class TracebackSink:
         topology: deployment graph, used for suspect neighborhoods (and by
             topology-bounded resolvers).
         resolver: anonymous-ID search strategy (default exhaustive).
+        obs: observability provider, shared with the verifier; ``None``
+            resolves to the process default.  Counts ingested and tampered
+            packets and closes each packet's trace with a ``verdict`` span.
     """
 
     def __init__(
@@ -68,9 +73,13 @@ class TracebackSink:
         provider: MacProvider,
         topology: Topology,
         resolver: Resolver | None = None,
+        obs: ObsProvider | NoopObsProvider | None = None,
     ):
         self.topology = topology
-        self.verifier = PacketVerifier(scheme, keystore, provider, resolver)
+        self.obs = resolve_provider(obs)
+        self.verifier = PacketVerifier(
+            scheme, keystore, provider, resolver, obs=self.obs
+        )
         self.precedence = PrecedenceGraph()
         self.packets_received = 0
         self.fallback_searches = 0
@@ -114,9 +123,19 @@ class TracebackSink:
         self.packets_received += 1
         self.fallback_searches += verification.fallback_searches
         self.precedence.add_chain(verification.chain_ids)
+        self.obs.inc("sink_packets_ingested_total")
+        tracer = self.obs.tracer
+        if tracer is not None:
+            tracer.event(
+                report_key(verification.packet.report),
+                "verdict",
+                delivering_node=delivering_node,
+                tampered=bool(verification.invalid_indices),
+            )
         if verification.chain_ids:
             self.chains_with_marks += 1
         if verification.invalid_indices:
+            self.obs.inc("sink_tampered_packets_total")
             # Tamper evidence: an invalid MAC never occurs in honest
             # operation, so a mole touched this packet.  By consecutive
             # traceability the most upstream *verified* marker of the
@@ -151,7 +170,8 @@ class TracebackSink:
 
     def route_analysis(self) -> RouteAnalysis:
         """Interpret all evidence accumulated so far."""
-        return self.precedence.analyze()
+        with self.obs.timer("route_analysis_seconds"):
+            return self.precedence.analyze()
 
     def verdict(self) -> TracebackVerdict:
         """The sink's aggregate answer over every packet seen so far.

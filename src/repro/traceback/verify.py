@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from repro.crypto.keys import KeyStore
 from repro.crypto.mac import MacProvider
 from repro.marking.base import MarkingScheme
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import report_key
 from repro.packets.packet import MarkedPacket
 from repro.traceback.resolver import ExhaustiveResolver, Resolver
 
@@ -108,6 +110,11 @@ class PacketVerifier:
             :class:`repro.service.ResolverCache`); the callable must return
             exactly what ``scheme.build_resolution_table(packet, keystore,
             provider)`` would.
+        obs: observability provider; ``None`` resolves to the process
+            default (the no-op provider unless one was installed).  Feeds
+            the ``verify_packet_seconds`` / ``resolution_table_seconds``
+            profiles, mark counters, and -- when the provider carries a
+            tracer -- a chained ``verify`` span per packet.
     """
 
     def __init__(
@@ -118,6 +125,7 @@ class PacketVerifier:
         resolver: Resolver | None = None,
         exhaustive_fallback: bool = True,
         table_factory: Callable[[MarkedPacket], object | None] | None = None,
+        obs: ObsProvider | NoopObsProvider | None = None,
     ):
         self.scheme = scheme
         self.keystore = keystore
@@ -125,9 +133,28 @@ class PacketVerifier:
         self.resolver = resolver if resolver is not None else ExhaustiveResolver()
         self.exhaustive_fallback = exhaustive_fallback
         self.table_factory = table_factory
+        self.obs = resolve_provider(obs)
 
     def verify(self, packet: MarkedPacket) -> PacketVerification:
         """Verify all marks of ``packet`` backwards."""
+        with self.obs.timer("verify_packet_seconds"):
+            result = self._verify(packet)
+        self.obs.inc("marks_verified_total", len(result.verified))
+        self.obs.inc("marks_invalid_total", len(result.invalid_indices))
+        if result.fallback_searches:
+            self.obs.inc("resolver_fallbacks_total", result.fallback_searches)
+        tracer = self.obs.tracer
+        if tracer is not None:
+            span = tracer.chain(
+                report_key(packet.report),
+                "verify",
+                marks=len(packet.marks),
+                verified=len(result.verified),
+            )
+            tracer.finish(span, time=span.start)
+        return result
+
+    def _verify(self, packet: MarkedPacket) -> PacketVerification:
         result = PacketVerification(packet=packet)
         # A resolution table depends only on the packet and the searched ID
         # set, so each distinct search set's table is built at most once and
@@ -185,12 +212,13 @@ class PacketVerifier:
         """The memoized resolution table for one search set (or ``None``)."""
         key = None if search is None else tuple(search)
         if key not in tables:
-            if search is None and self.table_factory is not None:
-                tables[key] = self.table_factory(packet)
-            else:
-                tables[key] = self.scheme.build_resolution_table(
-                    packet, self.keystore, self.provider, search_ids=search
-                )
+            with self.obs.timer("resolution_table_seconds"):
+                if search is None and self.table_factory is not None:
+                    tables[key] = self.table_factory(packet)
+                else:
+                    tables[key] = self.scheme.build_resolution_table(
+                        packet, self.keystore, self.provider, search_ids=search
+                    )
         return tables[key]
 
     def _validate_mark(

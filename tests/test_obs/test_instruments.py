@@ -1,0 +1,169 @@
+"""Instrument unit tests: O(1) bucketing, counters, gauges, quantiles."""
+
+import math
+
+import pytest
+
+from repro.obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSeries,
+    bucket_index,
+)
+
+
+def linear_bucket_index(value: float, min_bucket: float, num_buckets: int) -> int:
+    """The original linear scan the log2 index must reproduce exactly."""
+    bounds = [min_bucket * (2.0**i) for i in range(num_buckets)]
+    for i, bound in enumerate(bounds):
+        if value <= bound:
+            return i
+    return num_buckets
+
+
+class TestBucketIndex:
+    def test_matches_linear_scan_on_exact_bounds(self):
+        # The regression the log2 fast path must not introduce: float
+        # rounding at exact power-of-two bounds landing one bucket off.
+        min_bucket, num_buckets = 1e-6, 24
+        for i in range(num_buckets):
+            bound = min_bucket * (2.0**i)
+            for value in (bound, bound * (1 - 1e-12), bound * (1 + 1e-12)):
+                assert bucket_index(value, min_bucket, num_buckets) == (
+                    linear_bucket_index(value, min_bucket, num_buckets)
+                ), f"mismatch at bucket {i}, value {value!r}"
+
+    def test_matches_linear_scan_on_dense_sweep(self):
+        min_bucket, num_buckets = 1e-6, 24
+        value = min_bucket / 8
+        while value < min_bucket * 2.0**(num_buckets + 2):
+            assert bucket_index(value, min_bucket, num_buckets) == (
+                linear_bucket_index(value, min_bucket, num_buckets)
+            ), f"mismatch at value {value!r}"
+            value *= 1.137
+
+    def test_non_positive_values_land_in_bucket_zero(self):
+        assert bucket_index(0.0, 1e-6, 24) == 0
+        assert bucket_index(-3.0, 1e-6, 24) == 0
+
+    def test_overflow_lands_in_the_extra_bucket(self):
+        assert bucket_index(1e9, 1e-6, 24) == 24
+
+    def test_matches_linear_scan_with_odd_min_bucket(self):
+        # A min_bucket that is not a power of two exercises log2 rounding
+        # in both directions.
+        min_bucket, num_buckets = 3.7e-5, 10
+        for exp in range(-3, num_buckets + 2):
+            for wiggle in (0.999999999, 1.0, 1.000000001):
+                value = min_bucket * (2.0**exp) * wiggle
+                assert bucket_index(value, min_bucket, num_buckets) == (
+                    linear_bucket_index(value, min_bucket, num_buckets)
+                )
+
+
+class TestCounter:
+    def test_accumulates_per_label_series(self):
+        counter = Counter("packets_total", label_names=("kind",))
+        counter.inc(kind="inject")
+        counter.inc(2, kind="inject")
+        counter.inc(kind="drop")
+        assert counter.get(kind="inject") == 3
+        assert counter.get(kind="drop") == 1
+        assert counter.series() == [(("drop",), 1.0), (("inject",), 3.0)]
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_rejects_undeclared_labels(self):
+        counter = Counter("c_total", label_names=("kind",))
+        with pytest.raises(ValueError, match="declares labels"):
+            counter.inc(node="7")
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError, match="token"):
+            Counter("bad name")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.get() == 3
+
+
+class TestHistogramSeries:
+    def test_summary_statistics(self):
+        series = HistogramSeries()
+        for value in (1e-6, 1e-5, 1e-4, 1e-3):
+            series.observe(value)
+        assert series.count == 4
+        assert series.mean == pytest.approx((1e-6 + 1e-5 + 1e-4 + 1e-3) / 4)
+        assert series.min == 1e-6
+        assert series.max == 1e-3
+
+    def test_quantiles_bracket_the_distribution(self):
+        series = HistogramSeries(min_bucket=1.0, num_buckets=10)
+        # 90 fast observations at ~2, 10 slow at ~128.
+        series.observe(1.5, times=90)
+        series.observe(100.0, times=10)
+        p50 = series.quantile(0.50)
+        p95 = series.quantile(0.95)
+        p99 = series.quantile(0.99)
+        assert p50 == 2.0  # the le=2 bucket's bound
+        assert p95 == 128.0  # the le=128 bucket's bound
+        assert p99 == 128.0
+        assert p50 <= p95 <= p99
+
+    def test_quantile_upper_bound_semantics(self):
+        series = HistogramSeries(min_bucket=1.0, num_buckets=4)
+        series.observe(3.0)  # lands in the le=4 bucket
+        assert series.quantile(0.5) == 4.0
+        assert series.quantile(1.0) == 4.0
+
+    def test_overflow_quantile_uses_observed_max(self):
+        series = HistogramSeries(min_bucket=1.0, num_buckets=2)
+        series.observe(50.0)
+        assert series.quantile(0.99) == 50.0
+
+    def test_empty_series(self):
+        series = HistogramSeries()
+        assert series.mean == 0.0
+        assert series.quantile(0.99) == 0.0
+        assert series.as_dict()["count"] == 0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="positive"):
+            HistogramSeries(min_bucket=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            HistogramSeries(num_buckets=0)
+        with pytest.raises(ValueError, match="q must be"):
+            HistogramSeries().quantile(1.5)
+
+    def test_as_dict_buckets_are_sparse(self):
+        series = HistogramSeries(min_bucket=1.0, num_buckets=4)
+        series.observe(1.0)
+        series.observe(100.0)
+        buckets = series.as_dict()["buckets"]
+        assert [b["count"] for b in buckets] == [1, 1]
+        assert buckets[0]["le"] == 1.0
+        assert buckets[-1]["le"] is None  # the overflow bucket
+
+
+class TestHistogramFamily:
+    def test_labeled_series_are_independent(self):
+        histogram = Histogram("lat_seconds", label_names=("stage",))
+        histogram.observe(0.5, stage="verify")
+        histogram.observe(0.25, times=3, stage="queue")
+        assert histogram.data(stage="verify").count == 1
+        assert histogram.data(stage="queue").count == 3
+        labels = [values for values, _ in histogram.series()]
+        assert labels == [("queue",), ("verify",)]
+
+    def test_mean_is_exact_despite_bucketing(self):
+        histogram = Histogram("x")
+        histogram.observe(math.pi)
+        assert histogram.data().mean == pytest.approx(math.pi)

@@ -1,0 +1,103 @@
+"""Run manifests and the ``python -m repro.obs report`` renderer."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.profiling import ObsProvider
+from repro.obs.report import main, render_run_dir
+from repro.obs.spans import Tracer
+
+
+class TestGitRevision:
+    def test_in_a_checkout_returns_a_hash(self):
+        rev = git_revision()
+        assert rev == "unknown" or all(c in "0123456789abcdef" for c in rev)
+
+    def test_outside_a_checkout_degrades_to_unknown(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) == "unknown"
+
+
+class TestRunManifest:
+    def test_begin_stamps_provenance(self):
+        manifest = RunManifest.begin("fig6", argv=["prog", "fig6"], preset="ci", seed=7)
+        assert manifest.name == "fig6"
+        assert manifest.preset == "ci"
+        assert manifest.seed == 7
+        assert manifest.started_unix > 0
+        assert manifest.python
+
+    def test_finish_records_wall_time_and_metrics(self):
+        manifest = RunManifest.begin("x", argv=[])
+        provider = ObsProvider()
+        provider.inc("packets_total")
+        manifest.finish(metrics=provider.registry.snapshot())
+        assert manifest.wall_seconds >= 0.0
+        assert manifest.metrics["metrics"][0]["name"] == "packets_total"
+
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = RunManifest.begin("fig7", argv=["a", "b"], preset="quick", seed=3)
+        manifest.extra["note"] = "hello"
+        manifest.finish(metrics={"metrics": []})
+        path = tmp_path / "manifest.json"
+        manifest.write(str(path))
+        loaded = RunManifest.load(str(path))
+        assert loaded.as_dict() == manifest.as_dict()
+
+    def test_written_json_is_sorted(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        RunManifest(name="x").write(str(path))
+        payload = path.read_text()
+        assert payload == json.dumps(
+            json.loads(payload), indent=2, sort_keys=True
+        ) + "\n"
+
+
+def write_run_dir(tmp_path):
+    """A complete artifact directory like the CLI's ``--obs-dir`` output."""
+    run_dir = tmp_path / "fig6"
+    run_dir.mkdir()
+    provider = ObsProvider()
+    provider.inc("packets_total", 5)
+    provider.observe("verify_seconds", 0.001, times=3)
+    manifest = RunManifest.begin("fig6", argv=["pnm-experiment", "fig6"], preset="ci")
+    manifest.finish(metrics=provider.registry.snapshot())
+    manifest.write(str(run_dir / "manifest.json"))
+    tracer = Tracer(clock=iter([0.0, 1.0, 1.0, 2.0]).__next__)
+    tracer.finish(tracer.chain(b"k", "inject"))
+    tracer.finish(tracer.chain(b"k", "verify"))
+    tracer.write_jsonl(str(run_dir / "spans.jsonl"))
+    return run_dir
+
+
+class TestReport:
+    def test_render_run_dir_includes_all_sections(self, tmp_path):
+        rendered = render_run_dir(str(write_run_dir(tmp_path)))
+        assert "== run: fig6 ==" in rendered
+        assert "packets_total" in rendered
+        assert "verify_seconds" in rendered
+        assert "2 spans in 1 traces" in rendered
+        assert "inject" in rendered
+
+    def test_cli_renders_a_parent_of_run_dirs(self, tmp_path, capsys):
+        write_run_dir(tmp_path)
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== run: fig6 ==" in out
+        assert "packets_total" in out
+
+    def test_cli_rejects_a_dir_without_artifacts(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path)])
+
+    def test_cli_rejects_a_missing_path(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "nope")])
+
+    def test_render_metrics_handles_empty_snapshot(self, tmp_path):
+        run_dir = tmp_path / "empty"
+        run_dir.mkdir()
+        RunManifest(name="empty").write(str(run_dir / "manifest.json"))
+        rendered = render_run_dir(str(run_dir))
+        assert "== run: empty ==" in rendered

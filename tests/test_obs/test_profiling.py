@@ -1,0 +1,116 @@
+"""Provider facade: timers, defaults, the no-op provider, @timed."""
+
+import pytest
+
+from repro.obs.profiling import (
+    NOOP,
+    NoopObsProvider,
+    ObsProvider,
+    get_default_provider,
+    resolve_provider,
+    set_default_provider,
+    timed,
+    use_provider,
+)
+from repro.obs.spans import Tracer
+
+
+def make_clock(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestObsProvider:
+    def test_inc_observe_set_gauge_create_on_first_use(self):
+        provider = ObsProvider()
+        provider.inc("packets_total", kind="inject")
+        provider.inc("packets_total", 2, kind="inject")
+        provider.set_gauge("depth", 4)
+        provider.observe("lat_seconds", 0.5, times=2)
+        registry = provider.registry
+        assert registry.counter(
+            "packets_total", label_names=("kind",)
+        ).get(kind="inject") == 3
+        assert registry.gauge("depth").get() == 4
+        assert registry.histogram("lat_seconds").data().count == 2
+
+    def test_timer_observes_elapsed_clock_time(self):
+        provider = ObsProvider(clock=make_clock([10.0, 10.25]))
+        with provider.timer("stage_seconds"):
+            pass
+        series = provider.registry.histogram("stage_seconds").data()
+        assert series.count == 1
+        assert series.total == pytest.approx(0.25)
+
+    def test_timer_records_even_when_the_block_raises(self):
+        provider = ObsProvider(clock=make_clock([0.0, 1.0]))
+        with pytest.raises(RuntimeError):
+            with provider.timer("stage_seconds"):
+                raise RuntimeError("boom")
+        assert provider.registry.histogram("stage_seconds").data().count == 1
+
+    def test_enabled_flags(self):
+        assert ObsProvider().enabled
+        assert not NOOP.enabled
+
+    def test_provider_can_carry_a_tracer(self):
+        tracer = Tracer()
+        assert ObsProvider(tracer=tracer).tracer is tracer
+        assert ObsProvider().tracer is None
+
+
+class TestNoopProvider:
+    def test_every_hook_is_inert(self):
+        noop = NoopObsProvider()
+        noop.inc("x_total")
+        noop.set_gauge("g", 1)
+        noop.observe("h", 0.5)
+        with noop.timer("t_seconds"):
+            pass
+        assert noop.registry is None
+        assert noop.tracer is None
+
+    def test_timer_is_a_shared_singleton(self):
+        assert NOOP.timer("a") is NOOP.timer("b")
+
+
+class TestDefaultProvider:
+    def test_default_is_noop(self):
+        assert get_default_provider() is NOOP
+
+    def test_use_provider_restores_on_exit(self):
+        provider = ObsProvider()
+        with use_provider(provider):
+            assert get_default_provider() is provider
+            assert resolve_provider(None) is provider
+        assert get_default_provider() is NOOP
+
+    def test_use_provider_restores_on_error(self):
+        provider = ObsProvider()
+        with pytest.raises(RuntimeError):
+            with use_provider(provider):
+                raise RuntimeError("boom")
+        assert get_default_provider() is NOOP
+
+    def test_set_default_provider_round_trip(self):
+        provider = ObsProvider()
+        set_default_provider(provider)
+        try:
+            assert resolve_provider(None) is provider
+        finally:
+            set_default_provider(NOOP)
+
+    def test_resolve_prefers_the_explicit_argument(self):
+        explicit = ObsProvider()
+        assert resolve_provider(explicit) is explicit
+
+    def test_timed_decorator_resolves_per_call(self):
+        @timed("func_seconds")
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6  # under NOOP: nothing recorded, no error
+        provider = ObsProvider(clock=make_clock([0.0, 1.0]))
+        with use_provider(provider):
+            assert work(4) == 8
+        assert provider.registry.histogram("func_seconds").data().count == 1

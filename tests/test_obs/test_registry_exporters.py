@@ -1,0 +1,130 @@
+"""Registry get-or-create semantics and exporter round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    registry_to_json,
+    to_prometheus_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("packets_total", "packets", label_names=("kind",))
+    counter.inc(3, kind="inject")
+    counter.inc(1, kind="drop")
+    registry.gauge("queue_depth").set(7)
+    histogram = registry.histogram("verify_seconds", "latency")
+    for value in (1e-6, 3e-4, 0.002, 0.002, 1.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", label_names=("kind",))
+        b = registry.counter("c_total", label_names=("kind",))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as a"):
+            registry.gauge("x_total")
+
+    def test_label_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", label_names=("kind",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("x_total", label_names=("node",))
+
+    def test_introspection(self):
+        registry = populated_registry()
+        assert registry.names() == ["packets_total", "queue_depth", "verify_seconds"]
+        assert "queue_depth" in registry
+        assert registry.get("nope") is None
+
+    def test_snapshot_round_trip_preserves_counts(self):
+        registry = populated_registry()
+        snapshot = registry.snapshot()
+        restored = MetricsRegistry.load_snapshot(snapshot)
+        assert restored.snapshot() == snapshot
+        assert restored.counter(
+            "packets_total", label_names=("kind",)
+        ).get(kind="inject") == 3
+        series = restored.histogram("verify_seconds").data()
+        assert series.count == 5
+        assert series.max == 1.5
+
+    def test_snapshot_is_json_serializable_and_deterministic(self):
+        a = json.dumps(populated_registry().snapshot(), sort_keys=True)
+        b = json.dumps(populated_registry().snapshot(), sort_keys=True)
+        assert a == b
+
+    def test_load_snapshot_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry.load_snapshot(
+                {"metrics": [{"name": "x", "kind": "summary", "series": []}]}
+            )
+
+
+class TestPrometheusExport:
+    def test_text_format_shape(self):
+        text = to_prometheus_text(populated_registry())
+        assert "# TYPE packets_total counter" in text
+        assert '# HELP packets_total packets' in text
+        assert 'packets_total{kind="inject"} 3' in text
+        assert "queue_depth 7" in text
+        assert 'verify_seconds_bucket{le="+Inf"} 5' in text
+        assert "verify_seconds_count 5" in text
+
+    def test_bucket_samples_are_cumulative(self):
+        text = to_prometheus_text(populated_registry())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("verify_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_round_trip_through_parser(self):
+        registry = populated_registry()
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed["packets_total"]["kind"] == "counter"
+        assert parsed["packets_total"]["samples"]['packets_total{kind="inject"}'] == 3
+        assert parsed["queue_depth"]["samples"]["queue_depth"] == 7
+        histogram = parsed["verify_seconds"]
+        assert histogram["kind"] == "histogram"
+        assert histogram["samples"]["verify_seconds_count"] == 5
+        assert histogram["samples"]['verify_seconds_bucket{le="+Inf"}'] == 5
+        # The parser accepts exactly what the exporter emitted: every
+        # sample line resolved to a known metric.
+        total_samples = sum(len(m["samples"]) for _, m in sorted(parsed.items()))
+        sample_lines = [
+            line
+            for line in to_prometheus_text(registry).splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert total_samples == len(sample_lines)
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError, match="no preceding TYPE"):
+            parse_prometheus_text("mystery_metric 4")
+
+    def test_empty_registry_exports_empty_text(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+        assert parse_prometheus_text("") == {}
+
+
+class TestJsonExport:
+    def test_json_round_trip_equals_snapshot(self):
+        registry = populated_registry()
+        loaded = MetricsRegistry.load_snapshot(json.loads(registry_to_json(registry)))
+        assert loaded.snapshot() == registry.snapshot()

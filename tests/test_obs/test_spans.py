@@ -1,0 +1,150 @@
+"""Span tracing: explicit propagation, keyed chains, JSONL export."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.spans import Tracer, report_key
+from repro.packets.report import Report
+
+
+def make_clock(values):
+    """A deterministic clock yielding ``values`` in order."""
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestSpanLifecycle:
+    def test_root_and_child_spans_share_a_trace(self):
+        tracer = Tracer(clock=make_clock([1.0, 2.0, 3.0, 4.0]))
+        root = tracer.start("inject")
+        child = tracer.start("forward", parent=root.context)
+        tracer.finish(child)
+        tracer.finish(root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+        assert len(tracer) == 2
+
+    def test_explicit_timestamps_override_the_clock(self):
+        tracer = Tracer(clock=make_clock([99.0]))
+        span = tracer.start("inject", time=1.5)
+        tracer.finish(span, time=2.5)
+        assert span.start == 1.5
+        assert span.duration == pytest.approx(1.0)
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(clock=make_clock([1.0, 2.0, 3.0]))
+        span = tracer.start("x")
+        tracer.finish(span)
+        tracer.finish(span)
+        assert len(tracer) == 1
+
+    def test_context_manager_finishes_on_exit(self):
+        tracer = Tracer(clock=make_clock([1.0, 2.0]))
+        with tracer.span("verify", marks=3) as span:
+            assert span.end is None
+        assert span.end == 2.0
+        assert span.attrs == {"marks": 3}
+
+    def test_ids_are_deterministic(self):
+        def ids():
+            tracer = Tracer(clock=make_clock([0.0] * 8))
+            a = tracer.start("a")
+            b = tracer.start("b", parent=a.context)
+            return a.trace_id, a.span_id, b.span_id
+
+        assert ids() == ids()
+
+    def test_max_spans_truncates_loudly(self):
+        tracer = Tracer(clock=make_clock([0.0] * 20), max_spans=2)
+        for name in ("a", "b", "c"):
+            tracer.finish(tracer.start(name))
+        assert len(tracer) == 2
+        assert tracer.truncated
+
+    def test_rejects_bad_max_spans(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Tracer(max_spans=0)
+
+
+class TestKeyedPropagation:
+    def test_chain_builds_parent_linked_stages(self):
+        tracer = Tracer(clock=make_clock([0.0] * 10))
+        key = b"packet-1"
+        stages = []
+        for name in ("inject", "forward", "queue", "verify", "verdict"):
+            span = tracer.chain(key, name)
+            tracer.finish(span)
+            stages.append(span)
+        trace_ids = {s.trace_id for s in stages}
+        assert len(trace_ids) == 1
+        for parent, child in zip(stages, stages[1:], strict=False):
+            assert child.parent_id == parent.span_id
+
+    def test_distinct_keys_get_distinct_traces(self):
+        tracer = Tracer(clock=make_clock([0.0] * 4))
+        a = tracer.chain(b"a", "inject")
+        b = tracer.chain(b"b", "inject")
+        assert a.trace_id != b.trace_id
+
+    def test_event_is_a_zero_duration_chained_span(self):
+        tracer = Tracer()
+        span = tracer.event(b"k", "forward", time=3.25, node=7)
+        assert span.start == span.end == 3.25
+        assert span.attrs == {"node": 7}
+        assert tracer.lookup(b"k") == span.context
+
+    def test_trace_of_returns_the_bound_trace(self):
+        tracer = Tracer(clock=make_clock([0.0] * 6))
+        tracer.event(b"k", "inject", time=0.0)
+        tracer.event(b"k", "deliver", time=1.0)
+        names = [s.name for s in tracer.trace_of(b"k")]
+        assert names == ["inject", "deliver"]
+        assert tracer.trace_of(b"unbound") == []
+
+    def test_report_key_is_stable_content_identity(self):
+        report = Report(event=b"evt", location=(1.0, 2.0), timestamp=3)
+        same = Report(event=b"evt", location=(1.0, 2.0), timestamp=3)
+        other = Report(event=b"evt", location=(1.0, 2.0), timestamp=4)
+        assert report_key(report) == report_key(same)
+        assert report_key(report) != report_key(other)
+        assert len(report_key(report)) == 8
+
+
+class TestExport:
+    def test_jsonl_lines_parse_and_sort_keys(self):
+        tracer = Tracer(clock=make_clock([1.0, 2.0]))
+        with tracer.span("verify", node=4):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "verify"
+        assert record["duration"] == pytest.approx(1.0)
+        assert record["attrs"] == {"node": 4}
+
+    def test_streaming_sink_receives_each_finished_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(clock=make_clock([1.0, 2.0, 3.0, 4.0]), sink=sink)
+        tracer.finish(tracer.start("a"))
+        tracer.finish(tracer.start("b"))
+        names = [json.loads(line)["name"] for line in sink.getvalue().splitlines()]
+        assert names == ["a", "b"]
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = Tracer(clock=make_clock([1.0, 2.0]))
+        tracer.finish(tracer.start("a"))
+        path = tmp_path / "spans.jsonl"
+        written = tracer.write_jsonl(str(path))
+        assert written == 1
+        assert json.loads(path.read_text().strip())["name"] == "a"
+
+    def test_summary_groups_by_name(self):
+        tracer = Tracer(clock=make_clock([0.0, 1.0, 2.0, 5.0]))
+        tracer.finish(tracer.start("verify"))
+        tracer.finish(tracer.start("verify"))
+        summary = tracer.summary()
+        assert summary["verify"]["count"] == 2
+        assert summary["verify"]["total_duration"] == pytest.approx(4.0)

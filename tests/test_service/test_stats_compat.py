@@ -1,0 +1,62 @@
+"""LatencyHistogram compatibility after the move onto repro.obs.
+
+The service's histogram is now a thin seconds-flavored face over
+:class:`repro.obs.HistogramSeries` with an O(1) bucket index; these tests
+pin the pieces that must not have moved: the ``_s``-suffixed JSON keys and
+exact ``value <= bound`` bucket boundaries.
+"""
+
+from repro.obs.instruments import HistogramSeries
+from repro.service.stats import LatencyHistogram
+
+
+def linear_bucket_index(value, min_bucket, num_buckets):
+    """The pre-O(1) implementation's scan, kept as the boundary oracle."""
+    bounds = [min_bucket * (2.0**i) for i in range(num_buckets)]
+    for i, bound in enumerate(bounds):
+        if value <= bound:
+            return i
+    return num_buckets
+
+
+class TestLatencyHistogramCompat:
+    def test_is_a_histogram_series(self):
+        assert issubclass(LatencyHistogram, HistogramSeries)
+
+    def test_as_dict_keeps_the_seconds_suffixed_keys(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.002)
+        histogram.observe(0.004, times=2)
+        payload = histogram.as_dict()
+        assert payload["count"] == 3
+        assert set(payload) == {
+            "count", "mean_s", "min_s", "max_s",
+            "p50_s", "p90_s", "p99_s", "buckets",
+        }
+        assert payload["min_s"] == 0.002
+        assert payload["max_s"] == 0.004
+        assert all(set(b) == {"le_s", "count"} for b in payload["buckets"])
+
+    def test_empty_histogram_reports_zeroes(self):
+        payload = LatencyHistogram().as_dict()
+        assert payload["count"] == 0
+        assert payload["min_s"] == 0.0
+        assert payload["buckets"] == []
+
+    def test_bucket_boundaries_match_the_linear_scan(self):
+        # The O(1) log2 index must land exact power-of-two bounds (and
+        # their float neighbors) in the same bucket the old scan did.
+        histogram = LatencyHistogram(min_bucket=1e-6, num_buckets=24)
+        for i in range(24):
+            bound = 1e-6 * (2.0**i)
+            for value in (bound, bound * (1 - 1e-12), bound * (1 + 1e-12)):
+                expected = linear_bucket_index(value, 1e-6, 24)
+                before = histogram.bucket_counts()
+                histogram.observe(value)
+                after = histogram.bucket_counts()
+                changed = [
+                    j for j, (a, b) in enumerate(
+                        zip(before, after, strict=True)
+                    ) if a != b
+                ]
+                assert changed == [expected], f"value {value!r}"
