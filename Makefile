@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench experiments experiments-full faults obs examples clean
+.PHONY: install test lint bench experiments experiments-full faults obs serve-smoke examples clean
 
 install:
 	pip install -e .
@@ -33,6 +33,11 @@ obs:
 	python -m repro.experiments.cli faults-sweep --preset ci --obs-dir obs-artifacts
 	python -m repro.experiments.cli service-sweep --preset ci --obs-dir obs-artifacts
 	python -m repro.obs report obs-artifacts
+
+# Loopback wire-protocol check: server + client + verdict parity
+# against an in-process sink (docs/wire.md).
+serve-smoke:
+	python -m repro.wire smoke
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,129 @@
+"""Wire-protocol cost: codec microbenchmarks and the loopback server gate.
+
+The deployment keeps the sink off-mote, so every report crosses the wire
+codec and the asyncio server before it reaches verification.  Two checks:
+
+* the gate: pushing a workload through ``SinkServer``/``SinkClient`` on a
+  loopback socket must sustain at least **0.5x** the packets/second of
+  handing the same batches straight to the in-process
+  ``SinkIngestService`` — i.e. framing + CRC + TCP may at most halve
+  throughput;
+* microbenchmarks for ``encode_packet``/``decode_packet`` and
+  ``encode_frame``/``decode_frame``, the per-packet inner loop.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.service_sweep import build_workload
+from repro.marking.pnm import PNMMarking
+from repro.service import SinkIngestService
+from repro.traceback.sink import TracebackSink
+from repro.crypto.mac import HmacProvider
+from repro.wire.codec import decode_packet, encode_packet
+from repro.wire.frames import FrameType, decode_frame, encode_frame
+from repro.wire.loopback import run_loopback
+from repro.wire.messages import encode_batch
+
+GRID_SIDE = 12
+PACKETS = 240
+BATCH_SIZE = 60
+MIN_WIRE_RATIO = 0.5
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(GRID_SIDE, PACKETS)
+
+
+def make_service(workload) -> SinkIngestService:
+    topology, keystore, stream, _delivering = workload
+    sink = TracebackSink(
+        PNMMarking(mark_prob=1.0), keystore, HmacProvider(), topology
+    )
+    return SinkIngestService(sink, capacity=len(stream), workers=0)
+
+
+def batches_of(workload):
+    _topology, _keystore, stream, delivering = workload
+    return [
+        (stream[i : i + BATCH_SIZE], delivering)
+        for i in range(0, len(stream), BATCH_SIZE)
+    ]
+
+
+def run_in_process(workload) -> TracebackSink:
+    _topology, _keystore, stream, delivering = workload
+    with make_service(workload) as service:
+        for packet in stream:
+            service.submit(packet, delivering)
+        service.flush()
+        return service.sink
+
+
+def run_wire(workload) -> TracebackSink:
+    fmt = PNMMarking(mark_prob=1.0).fmt
+    with make_service(workload) as service:
+        result = run_loopback(
+            service, fmt, batches_of(workload), ping=False, pipelined=True
+        )
+        assert result.final_verdict is not None
+        return service.sink
+
+
+class TestThroughputGate:
+    def test_loopback_within_2x_of_in_process(self, workload):
+        # Plain wall-clock ratio, deliberately not benchmark-fixture based,
+        # so the gate runs (and fails loudly) on every benchmark invocation.
+        start = time.perf_counter()
+        inproc_sink = run_in_process(workload)
+        inproc_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        wire_sink = run_wire(workload)
+        wire_s = time.perf_counter() - start
+
+        assert wire_sink.verdict() == inproc_sink.verdict()
+        ratio = inproc_s / wire_s
+        assert ratio >= MIN_WIRE_RATIO, (
+            f"loopback server only {ratio:.2f}x in-process "
+            f"({PACKETS / inproc_s:.0f} -> {PACKETS / wire_s:.0f} pkts/s); "
+            f"gate is {MIN_WIRE_RATIO}x"
+        )
+
+
+class TestBenchServer:
+    def test_bench_in_process_batches(self, benchmark, workload):
+        sink = benchmark(run_in_process, workload)
+        assert sink.packets_received == PACKETS
+
+    def test_bench_loopback_batches(self, benchmark, workload):
+        sink = benchmark(run_wire, workload)
+        assert sink.packets_received == PACKETS
+
+
+class TestBenchCodec:
+    def test_bench_encode_packet(self, benchmark, workload):
+        _topology, _keystore, stream, _delivering = workload
+        out = benchmark(lambda: [encode_packet(p) for p in stream])
+        assert len(out) == PACKETS
+
+    def test_bench_decode_packet(self, benchmark, workload):
+        _topology, _keystore, stream, _delivering = workload
+        fmt = PNMMarking(mark_prob=1.0).fmt
+        bodies = [encode_packet(p) for p in stream]
+        out = benchmark(lambda: [decode_packet(b, fmt) for b in bodies])
+        assert out == stream
+
+    def test_bench_frame_round_trip(self, benchmark, workload):
+        _topology, _keystore, stream, delivering = workload
+        fmt = PNMMarking(mark_prob=1.0).fmt
+        payload = encode_batch(stream, delivering, fmt)
+
+        def round_trip():
+            frame, _ = decode_frame(encode_frame(FrameType.BATCH, payload))
+            return frame
+
+        frame = benchmark(round_trip)
+        assert frame.payload == payload

@@ -30,6 +30,7 @@ from repro.experiments import (
     security_matrix,
     service_sweep,
     sink_cost,
+    wire_sweep,
 )
 from repro.experiments.presets import Preset, preset_by_name
 from repro.experiments.tables import FigureResult
@@ -44,6 +45,7 @@ _SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
     "security-matrix": security_matrix.run,
     "sink-cost": sink_cost.run,
     "service-sweep": service_sweep.run,
+    "wire-sweep": wire_sweep.run,
     "faults-sweep": faults_sweep.run,
     "approaches": approaches.run,
     "overhead": overhead_table.run,

@@ -1,5 +1,5 @@
 """Rule visitors; importing this package registers every shipped rule."""
 
-from repro.lint.rules import crypto, determinism, locking, privacy
+from repro.lint.rules import crypto, determinism, locking, privacy, wire
 
-__all__ = ["crypto", "determinism", "locking", "privacy"]
+__all__ = ["crypto", "determinism", "locking", "privacy", "wire"]

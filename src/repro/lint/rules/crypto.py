@@ -49,6 +49,7 @@ _RL002_SCOPE = (
     "repro/adversary/",
     "repro/faults/",
     "repro/obs/",
+    "repro/wire/",
 )
 
 

@@ -31,6 +31,7 @@ _RL004_SCOPE = (
     "repro/service/",
     "repro/faults/",
     "repro/obs/",
+    "repro/wire/",
 )
 
 _RL006_SCOPE = (
@@ -43,6 +44,11 @@ _RL006_SCOPE = (
     "repro/tracealt/",
     "repro/faults/",
     "repro/obs/",
+    # The wire layer is service code, but its retry/backoff and framing
+    # must be driven by injected hints (retry_after_ms) and asyncio's
+    # scheduler, never by reading the wall clock directly -- that is what
+    # keeps loopback protocol tests deterministic.
+    "repro/wire/",
 )
 
 _WALL_CLOCK_CALLS = {

@@ -1,0 +1,78 @@
+"""RL007: no object deserializers in codec paths.
+
+The wire layer's whole safety argument is that every byte a peer sends is
+parsed by a strict hand-written decoder that can only ever produce
+``Report``/``Mark``/frame values or a typed ``WireError``.  ``pickle``
+(and its relatives) would replace that with an engine that executes
+arbitrary reduce callables from attacker-controlled bytes -- one
+``pickle.loads`` on a frame payload turns "mole injects bogus reports"
+into "mole executes code on the sink".  The rule bans importing any such
+module anywhere under ``repro/wire/`` or ``repro/packets/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.walker import FileContext
+
+__all__ = ["PickleInCodecRule"]
+
+_RL007_SCOPE = (
+    "repro/wire/",
+    "repro/packets/",
+)
+
+#: Modules that deserialize arbitrary Python objects (or wrap something
+#: that does); none has any business near wire bytes.
+_BANNED_MODULES = {
+    "pickle",
+    "cPickle",
+    "_pickle",
+    "dill",
+    "cloudpickle",
+    "marshal",
+    "shelve",
+}
+
+
+def _banned_root(module: str | None) -> str | None:
+    if module is None:
+        return None
+    root = module.split(".", 1)[0]
+    return root if root in _BANNED_MODULES else None
+
+
+class PickleInCodecRule(Rule):
+    """RL007: ``pickle``/``marshal``-family imports in wire or packet code."""
+
+    rule_id = "RL007"
+    summary = "object deserializer (pickle family) imported in a codec path"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_scope(_RL007_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module] if node.level == 0 else []
+            else:
+                continue
+            for name in names:
+                banned = _banned_root(name)
+                if banned is not None:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"{banned} deserializes arbitrary objects and must "
+                        "never touch wire bytes; codec paths parse with the "
+                        "strict repro.wire decoders only",
+                    )
+
+
+register(PickleInCodecRule())

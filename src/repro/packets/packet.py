@@ -80,18 +80,39 @@ class MarkedPacket:
         return replace(self, marks=tuple(marks))
 
     @classmethod
-    def decode(cls, data: bytes, fmt: MarkFormat) -> "MarkedPacket":
+    def decode(
+        cls, data: bytes, fmt: MarkFormat, num_marks: int | None = None
+    ) -> "MarkedPacket":
         """Parse a packet whose marks are laid out per ``fmt``.
 
+        Without ``num_marks`` the whole buffer past the report must divide
+        exactly into marks -- any other trailing bytes are rejected, never
+        silently ignored.  Mark-aligned garbage is indistinguishable from
+        real marks at this layer, so framed transports (:mod:`repro.wire`)
+        carry the mark count explicitly and pass it here: with ``num_marks``
+        given, the buffer must hold *exactly* that many marks, and even
+        mark-aligned trailing bytes raise.
+
         Raises:
-            ValueError: if the trailing bytes are not a whole number of marks.
+            ValueError: if the trailing bytes are not a whole number of
+                marks, or do not match ``num_marks`` when it is given.
         """
         report, consumed = Report.decode_prefix(data)
         remainder = data[consumed:]
-        if fmt.mark_len == 0:
-            if remainder:
-                raise ValueError("marks present but format has zero-length marks")
-            return cls(report=report)
+        if num_marks is not None:
+            if num_marks < 0:
+                raise ValueError(f"num_marks must be >= 0, got {num_marks}")
+            expected = num_marks * fmt.mark_len
+            if len(remainder) < expected:
+                raise ValueError(
+                    f"buffer too short for {num_marks} marks: "
+                    f"need {expected} bytes, have {len(remainder)}"
+                )
+            if len(remainder) > expected:
+                raise ValueError(
+                    f"{len(remainder) - expected} trailing bytes after "
+                    f"{num_marks} marks"
+                )
         if len(remainder) % fmt.mark_len != 0:
             raise ValueError(
                 f"{len(remainder)} trailing bytes is not a multiple of "

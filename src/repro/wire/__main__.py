@@ -1,0 +1,8 @@
+"""``python -m repro.wire``: alias for the ``pnm-serve`` CLI."""
+
+import sys
+
+from repro.wire.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,266 @@
+"""``SinkClient``: the sink's network peer on a sensor gateway.
+
+Asyncio client for :class:`~repro.wire.server.SinkServer` with the three
+behaviors a deployed gateway needs:
+
+* **Bounded connect**: every connection attempt has a timeout, failed
+  attempts back off exponentially (deterministically -- no jitter, so
+  test runs are repeatable), and exhaustion raises a typed
+  :class:`~repro.wire.errors.ConnectError` instead of looping forever;
+* **Typed failures**: an ERROR reply surfaces as
+  :class:`~repro.wire.errors.BackpressureError` (with the server's
+  retry-after hint) or :class:`~repro.wire.errors.RemoteError` -- the
+  caller never parses message strings;
+* **Pipelining**: :meth:`send_batches` writes every batch frame before
+  reading any reply, hiding the round-trip latency that would otherwise
+  dominate a ping-pong exchange on anything but loopback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.packets.marks import MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.wire.errors import (
+    BackpressureError,
+    BadFrameError,
+    ConnectError,
+    ErrorCode,
+    RemoteError,
+    TruncatedError,
+)
+from repro.wire.frames import Frame, FrameDecoder, FrameType, encode_frame
+from repro.wire.messages import (
+    WireErrorInfo,
+    WireVerdict,
+    decode_error,
+    decode_verdict,
+    encode_batch,
+    encode_error,
+    encode_report,
+)
+
+__all__ = ["SinkClient"]
+
+_READ_CHUNK = 64 * 1024
+
+
+class SinkClient:
+    """Connects to a :class:`~repro.wire.server.SinkServer` and streams batches.
+
+    Args:
+        host / port: the server address.
+        connect_timeout: seconds allowed per connection attempt.
+        retries: additional attempts after the first failure.
+        backoff_base: first retry delay in seconds; doubles per attempt.
+        backoff_max: delay ceiling.
+        obs: observability provider (``wire_frames_tx/rx_total`` and byte
+            counters from the client's side).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        obs: ObsProvider | NoopObsProvider | None = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.obs = resolve_provider(obs)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder()
+        self._pending: deque[Frame] = deque()
+        self.connect_attempts = 0
+
+    # Connection --------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Deterministic exponential backoff for retry ``attempt`` (0-based)."""
+        return min(self.backoff_base * (2**attempt), self.backoff_max)
+
+    async def connect(self) -> None:
+        """Open the connection, retrying with exponential backoff.
+
+        Raises:
+            ConnectError: after ``retries + 1`` failed attempts.
+        """
+        if self.connected:
+            return
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            self.connect_attempts += 1
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    timeout=self.connect_timeout,
+                )
+                self._decoder = FrameDecoder()
+                self._pending.clear()
+                self.obs.inc("wire_client_connects_total")
+                return
+            except (OSError, asyncio.TimeoutError) as exc:
+                last_error = exc
+                self.obs.inc("wire_client_connect_failures_total")
+                if attempt < self.retries:
+                    await asyncio.sleep(self._backoff_delay(attempt))
+        raise ConnectError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        )
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "SinkClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type: object, exc: object, tb: object) -> None:
+        await self.close()
+
+    # Frame I/O ---------------------------------------------------------------
+
+    async def _write_frame(self, frame_type: FrameType, payload: bytes) -> None:
+        if self._writer is None:
+            raise ConnectError("client is not connected")
+        data = encode_frame(frame_type, payload)
+        self.obs.inc("wire_frames_tx_total", frame=frame_type.name)
+        self.obs.inc("wire_bytes_tx_total", len(data))
+        self._writer.write(data)
+        await self._writer.drain()
+
+    async def _read_frame(self) -> Frame:
+        if self._pending:
+            return self._pending.popleft()
+        if self._reader is None:
+            raise ConnectError("client is not connected")
+        while not self._pending:
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                self._decoder.finish()
+                raise TruncatedError("server closed before a complete reply")
+            self.obs.inc("wire_bytes_rx_total", len(chunk))
+            self._pending.extend(self._decoder.feed(chunk))
+        frame = self._pending.popleft()
+        self.obs.inc("wire_frames_rx_total", frame=frame.frame_type.name)
+        return frame
+
+    @staticmethod
+    def _raise_remote(info: WireErrorInfo) -> RemoteError:
+        if info.code is ErrorCode.BACKPRESSURE:
+            return BackpressureError(info.message, info.retry_after_ms)
+        return RemoteError(info.code, info.message, info.retry_after_ms)
+
+    def _parse_reply(self, frame: Frame) -> WireVerdict | WireErrorInfo:
+        if frame.frame_type is FrameType.VERDICT:
+            return decode_verdict(frame.payload)
+        if frame.frame_type is FrameType.ERROR:
+            return decode_error(frame.payload)
+        raise BadFrameError(
+            f"expected VERDICT or ERROR, got {frame.frame_type.name}"
+        )
+
+    # Requests ----------------------------------------------------------------
+
+    async def ping(self, payload: bytes = b"pnm") -> bytes:
+        """Version/liveness probe; returns the server's echoed payload.
+
+        A successful round trip proves both endpoints speak
+        :data:`~repro.wire.frames.PROTOCOL_VERSION` -- each side rejects
+        any other version byte before looking at the payload.
+        """
+        await self._write_frame(FrameType.PING, payload)
+        reply = await self._read_frame()
+        if reply.frame_type is FrameType.ERROR:
+            raise self._raise_remote(decode_error(reply.payload))
+        if reply.frame_type is not FrameType.PING:
+            raise BadFrameError(
+                f"expected PING echo, got {reply.frame_type.name}"
+            )
+        return reply.payload
+
+    async def send_report(
+        self, packet: MarkedPacket, delivering_node: int, fmt: MarkFormat
+    ) -> WireVerdict:
+        """Submit a single packet; returns the sink's updated verdict."""
+        await self._write_frame(
+            FrameType.REPORT, encode_report(packet, delivering_node, fmt)
+        )
+        return self._expect_verdict(await self._read_frame())
+
+    async def send_batch(
+        self,
+        packets: list[MarkedPacket] | tuple[MarkedPacket, ...],
+        delivering_node: int,
+        fmt: MarkFormat,
+    ) -> WireVerdict:
+        """Submit one batch; returns the sink's updated verdict.
+
+        Raises:
+            BackpressureError: when the server's queue shed packets (the
+                exception carries the server's retry-after hint).
+            RemoteError: on any other server-side rejection.
+        """
+        await self._write_frame(
+            FrameType.BATCH, encode_batch(packets, delivering_node, fmt)
+        )
+        return self._expect_verdict(await self._read_frame())
+
+    def _expect_verdict(self, frame: Frame) -> WireVerdict:
+        reply = self._parse_reply(frame)
+        if isinstance(reply, WireErrorInfo):
+            raise self._raise_remote(reply)
+        return reply
+
+    async def send_batches(
+        self,
+        batches: list[tuple[list[MarkedPacket], int]],
+        fmt: MarkFormat,
+    ) -> list[WireVerdict | WireErrorInfo]:
+        """Pipeline many batches: write them all, then read all replies.
+
+        Unlike :meth:`send_batch`, per-batch rejections are *returned*
+        (as :class:`WireErrorInfo`) rather than raised, so one shed batch
+        does not discard the verdicts of the batches pipelined behind it.
+        """
+        for packets, delivering_node in batches:
+            await self._write_frame(
+                FrameType.BATCH, encode_batch(packets, delivering_node, fmt)
+            )
+        return [
+            self._parse_reply(await self._read_frame())
+            for _ in range(len(batches))
+        ]
+
+    async def send_error(self, info: WireErrorInfo) -> None:
+        """Send an ERROR frame (diagnostics; servers reject most of these)."""
+        await self._write_frame(FrameType.ERROR, encode_error(info))
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"SinkClient({self.host}:{self.port}, {state})"

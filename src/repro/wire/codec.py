@@ -1,0 +1,161 @@
+"""Primitive wire encodings: varints and self-delimiting packets.
+
+Everything here is strict by construction:
+
+* :func:`read_varint` never over-reads, caps the encoding at 64 bits, and
+  rejects non-canonical (padded) encodings so every value has exactly one
+  byte representation -- a frame's bytes are a pure function of its
+  content, which the CRC trailer and the dedup/caching layers rely on;
+* :func:`decode_packet` carries the mark count explicitly, so trailing
+  garbage after the last mark is always rejected, even when it happens to
+  be mark-aligned (see :meth:`repro.packets.packet.MarkedPacket.decode`);
+* every failure is a typed :class:`~repro.wire.errors.WireError`; callers
+  never see ``struct.error`` or a bare ``ValueError`` from these decoders.
+"""
+
+from __future__ import annotations
+
+from repro.packets.marks import MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.wire.errors import BadFrameError, OversizedError, TruncatedError
+
+__all__ = [
+    "MAX_VARINT_BYTES",
+    "write_varint",
+    "read_varint",
+    "encode_packet",
+    "decode_packet",
+    "encode_mark_format",
+    "decode_mark_format",
+    "MARK_FORMAT_LEN",
+]
+
+#: A varint value fits in u64, hence at most 10 encoded bytes.
+MAX_VARINT_BYTES = 10
+
+_U64_MAX = (1 << 64) - 1
+
+#: Encoded :class:`MarkFormat`: ``id_len u8 | mac_len u8 | flags u8``.
+MARK_FORMAT_LEN = 3
+
+_FLAG_ANONYMOUS = 0x01
+
+
+def write_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if not 0 <= value <= _U64_MAX:
+        raise ValueError(f"varint value out of u64 range: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode an unsigned LEB128 varint from ``data`` at ``offset``.
+
+    Returns:
+        ``(value, new_offset)``.
+
+    Raises:
+        TruncatedError: if the buffer ends mid-varint.
+        BadFrameError: if the encoding exceeds 64 bits or is non-canonical
+            (a padded encoding of a smaller value).
+    """
+    value = 0
+    shift = 0
+    consumed = 0
+    while True:
+        if offset + consumed >= len(data):
+            raise TruncatedError(
+                f"buffer ended after {consumed} varint byte(s)"
+            )
+        byte = data[offset + consumed]
+        consumed += 1
+        if consumed > MAX_VARINT_BYTES:
+            raise BadFrameError("varint longer than 10 bytes")
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if byte == 0 and consumed > 1:
+                raise BadFrameError("non-canonical varint (padded encoding)")
+            if value > _U64_MAX:
+                raise BadFrameError(f"varint value exceeds u64: {value}")
+            return value, offset + consumed
+        shift += 7
+
+
+def encode_packet(packet: MarkedPacket) -> bytes:
+    """Self-delimiting packet bytes: ``varint(num_marks) | packet wire``.
+
+    The explicit mark count is what makes the decode side strict: the
+    report's own length field delimits the report, and the count delimits
+    the mark list, so every byte of the encoding is accounted for.
+    """
+    return write_varint(packet.num_marks) + packet.wire()
+
+
+def decode_packet(data: bytes, fmt: MarkFormat) -> MarkedPacket:
+    """Parse :func:`encode_packet` output; the whole buffer must be used.
+
+    Raises:
+        TruncatedError: if the buffer ends early.
+        BadFrameError: on malformed counts, trailing bytes, or any report
+            or mark that does not parse.
+    """
+    try:
+        num_marks, offset = read_varint(data)
+    except TruncatedError:
+        raise TruncatedError("buffer ended inside the mark count") from None
+    if num_marks > len(data):
+        # Cheap upper bound (each mark is >= 1 byte): reject absurd counts
+        # before handing a huge expectation to the packet decoder.
+        raise OversizedError(
+            f"mark count {num_marks} exceeds buffer size {len(data)}"
+        )
+    body = data[offset:]
+    try:
+        return MarkedPacket.decode(body, fmt, num_marks=num_marks)
+    except ValueError as exc:
+        message = str(exc)
+        if "too short" in message:
+            raise TruncatedError(message) from None
+        raise BadFrameError(message) from None
+
+
+def encode_mark_format(fmt: MarkFormat) -> bytes:
+    """Encode the deployment's mark layout (3 bytes, see docs/wire.md)."""
+    if fmt.id_len > 0xFF or fmt.mac_len > 0xFF:
+        raise ValueError(f"mark format fields exceed one byte: {fmt}")
+    flags = _FLAG_ANONYMOUS if fmt.anonymous else 0
+    return bytes((fmt.id_len, fmt.mac_len, flags))
+
+
+def decode_mark_format(data: bytes, offset: int = 0) -> tuple[MarkFormat, int]:
+    """Decode :func:`encode_mark_format` output at ``offset``.
+
+    Returns:
+        ``(fmt, new_offset)``.
+
+    Raises:
+        TruncatedError: if fewer than 3 bytes remain.
+        BadFrameError: on invalid field values or unknown flag bits.
+    """
+    if len(data) - offset < MARK_FORMAT_LEN:
+        raise TruncatedError("buffer too short for a mark format")
+    id_len, mac_len, flags = data[offset : offset + MARK_FORMAT_LEN]
+    if flags & ~_FLAG_ANONYMOUS:
+        raise BadFrameError(f"unknown mark-format flag bits: {flags:#04x}")
+    try:
+        fmt = MarkFormat(
+            id_len=id_len,
+            mac_len=mac_len,
+            anonymous=bool(flags & _FLAG_ANONYMOUS),
+        )
+    except ValueError as exc:
+        raise BadFrameError(str(exc)) from None
+    return fmt, offset + MARK_FORMAT_LEN

@@ -1,0 +1,102 @@
+"""The wire-error taxonomy.
+
+Every way a peer can hand us unusable bytes has a dedicated exception, and
+all of them derive from :class:`WireError`, so transport code catches one
+type and corrupt input can never surface as a bare ``struct.error``,
+``IndexError`` or ``ValueError`` from deep inside a decoder.  The decode
+errors map one-to-one onto the on-wire ERROR frame codes
+(:class:`ErrorCode`), which is what lets a server report *why* it rejected
+a frame without leaking anything else about its state.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "WireError",
+    "TruncatedError",
+    "BadCrcError",
+    "BadVersionError",
+    "OversizedError",
+    "BadFrameError",
+    "TrailingBytesError",
+    "ConnectError",
+    "RemoteError",
+    "BackpressureError",
+    "ErrorCode",
+]
+
+
+class ErrorCode(enum.IntEnum):
+    """Machine-readable reason codes carried by ERROR frames."""
+
+    BACKPRESSURE = 1  #: ingest queue shed the batch; retry after the hint
+    BAD_FRAME = 2  #: undecodable frame (truncated / bad CRC / bad payload)
+    BAD_VERSION = 3  #: protocol version mismatch
+    OVERSIZED = 4  #: declared payload exceeds the receiver's limit
+    INTERNAL = 5  #: server-side failure unrelated to the bytes received
+
+
+class WireError(Exception):
+    """Base class for every wire-protocol failure."""
+
+    #: The ERROR-frame code a server reports for this failure class.
+    code: ErrorCode = ErrorCode.BAD_FRAME
+
+
+class TruncatedError(WireError):
+    """The buffer ended before the structure it announced was complete."""
+
+
+class BadCrcError(WireError):
+    """The frame's CRC32 trailer does not match its contents."""
+
+
+class BadVersionError(WireError):
+    """The frame carries a protocol version this endpoint does not speak."""
+
+    code = ErrorCode.BAD_VERSION
+
+
+class OversizedError(WireError):
+    """A declared length exceeds the deployment's hard limit."""
+
+    code = ErrorCode.OVERSIZED
+
+
+class BadFrameError(WireError):
+    """The frame is structurally invalid (unknown type, malformed payload)."""
+
+
+class TrailingBytesError(WireError):
+    """A decoder consumed the declared structure but bytes were left over."""
+
+
+class ConnectError(WireError):
+    """The client exhausted its connection attempts."""
+
+    code = ErrorCode.INTERNAL
+
+
+class RemoteError(WireError):
+    """The peer answered with an ERROR frame.
+
+    Attributes:
+        error_code: the peer's :class:`ErrorCode`.
+        retry_after_ms: the peer's retry hint (0 when none was given).
+    """
+
+    def __init__(
+        self, error_code: ErrorCode, message: str, retry_after_ms: int = 0
+    ):
+        super().__init__(message)
+        self.error_code = error_code
+        self.retry_after_ms = retry_after_ms
+
+
+class BackpressureError(RemoteError):
+    """The server's ingest queue shed packets; honor ``retry_after_ms``."""
+
+    def __init__(self, message: str, retry_after_ms: int):
+        super().__init__(ErrorCode.BACKPRESSURE, message, retry_after_ms)

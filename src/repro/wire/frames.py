@@ -1,0 +1,219 @@
+"""Frames: the unit of exchange on a sink connection.
+
+Wire grammar (all integers big-endian unless they are varints)::
+
+    frame   := version type length payload crc
+    version := u8                      -- PROTOCOL_VERSION (currently 1)
+    type    := u8                      -- FrameType member
+    length  := varint                  -- payload byte count
+    payload := length bytes            -- grammar depends on type
+    crc     := u32be                   -- CRC32 over version|type|length|payload
+
+The CRC covers the header too, so a flipped type byte or a corrupted
+length is caught like corrupted payload bytes.  The version byte is
+checked *before* the CRC: a peer speaking a future version may legally
+use a different trailer, so the only thing v1 asserts about such a frame
+is that it cannot parse it (:class:`~repro.wire.errors.BadVersionError`).
+
+:class:`FrameDecoder` is the incremental form the asyncio endpoints use:
+feed it whatever the socket produced, take whole frames out, and call
+:meth:`FrameDecoder.finish` at EOF so a mid-frame disconnect surfaces as
+a :class:`~repro.wire.errors.TruncatedError` instead of silence.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.wire.codec import MAX_VARINT_BYTES, read_varint, write_varint
+from repro.wire.errors import (
+    BadCrcError,
+    BadFrameError,
+    BadVersionError,
+    OversizedError,
+    TruncatedError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_PAYLOAD_LEN",
+    "FrameType",
+    "Frame",
+    "encode_frame",
+    "decode_frame",
+    "FrameDecoder",
+]
+
+#: The protocol version this implementation speaks (see docs/wire.md).
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a frame's payload; larger declarations are rejected before
+#: any buffering happens, so a hostile length cannot balloon memory.
+MAX_PAYLOAD_LEN = 4 * 1024 * 1024
+
+_CRC = struct.Struct(">I")
+
+
+class FrameType(enum.IntEnum):
+    """The five frame types of protocol v1."""
+
+    REPORT = 1  #: one marked packet (``delivering | fmt | packet``)
+    BATCH = 2  #: many marked packets sharing one delivering node
+    VERDICT = 3  #: the sink's current traceback verdict
+    PING = 4  #: liveness + version probe; echoed verbatim by the peer
+    ERROR = 5  #: typed rejection (``code | retry_after_ms | message``)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its type and raw payload bytes."""
+
+    frame_type: FrameType
+    payload: bytes
+
+    @property
+    def wire_len(self) -> int:
+        """Encoded size of this frame in bytes."""
+        return (
+            2 + len(write_varint(len(self.payload))) + len(self.payload) + _CRC.size
+        )
+
+
+def encode_frame(frame_type: FrameType, payload: bytes) -> bytes:
+    """Serialize one frame, CRC trailer included.
+
+    Raises:
+        OversizedError: if ``payload`` exceeds :data:`MAX_PAYLOAD_LEN`.
+    """
+    if len(payload) > MAX_PAYLOAD_LEN:
+        raise OversizedError(
+            f"payload of {len(payload)} bytes exceeds limit {MAX_PAYLOAD_LEN}"
+        )
+    body = (
+        bytes((PROTOCOL_VERSION, int(frame_type)))
+        + write_varint(len(payload))
+        + payload
+    )
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def decode_frame(data: bytes, offset: int = 0) -> tuple[Frame, int]:
+    """Decode one frame from ``data`` at ``offset``.
+
+    Returns:
+        ``(frame, new_offset)``; bytes past the frame are left for the
+        caller (the stream decoder loops; one-shot callers should check
+        ``new_offset == len(data)`` and reject leftovers).
+
+    Raises:
+        TruncatedError: if the buffer ends inside the frame.
+        BadVersionError: on a version byte other than v1.
+        OversizedError: on a declared payload over :data:`MAX_PAYLOAD_LEN`.
+        BadFrameError: on an unknown frame type.
+        BadCrcError: when the trailer does not match.
+    """
+    start = offset
+    if len(data) - offset < 2:
+        raise TruncatedError("buffer too short for a frame header")
+    version = data[offset]
+    if version != PROTOCOL_VERSION:
+        raise BadVersionError(
+            f"frame version {version}, this endpoint speaks {PROTOCOL_VERSION}"
+        )
+    type_byte = data[offset + 1]
+    payload_len, offset = read_varint(data, offset + 2)
+    if payload_len > MAX_PAYLOAD_LEN:
+        raise OversizedError(
+            f"declared payload of {payload_len} bytes exceeds limit "
+            f"{MAX_PAYLOAD_LEN}"
+        )
+    if len(data) - offset < payload_len + _CRC.size:
+        raise TruncatedError(
+            f"buffer ended inside a frame: need {payload_len + _CRC.size} "
+            f"more bytes, have {len(data) - offset}"
+        )
+    payload = bytes(data[offset : offset + payload_len])
+    offset += payload_len
+    (crc,) = _CRC.unpack_from(data, offset)
+    offset += _CRC.size
+    if crc != zlib.crc32(data[start : offset - _CRC.size]):
+        raise BadCrcError("frame CRC mismatch")
+    # Type is validated after the CRC: a garbled type byte is corruption
+    # (BadCrc) first, an honest-but-unknown type (BadFrame) second.
+    try:
+        frame_type = FrameType(type_byte)
+    except ValueError:
+        raise BadFrameError(f"unknown frame type {type_byte}") from None
+    return Frame(frame_type=frame_type, payload=payload), offset
+
+
+#: Upper bound on an undecodable-yet-valid header prefix, used by the
+#: incremental decoder to distinguish "need more bytes" from "stuck".
+_MAX_HEADER_LEN = 2 + MAX_VARINT_BYTES
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Usage::
+
+        decoder = FrameDecoder()
+        for frame in decoder.feed(chunk):   # any chunking whatsoever
+            ...
+        decoder.finish()                    # at EOF
+
+    Decode errors raise out of :meth:`feed` immediately; after an error
+    the stream is unrecoverable by design (v1 has no resync marker) and
+    further feeding raises the same error.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._error: Exception | None = None
+        self.frames_decoded = 0
+        self.bytes_consumed = 0
+
+    def feed(self, chunk: bytes) -> list[Frame]:
+        """Absorb ``chunk``; return every frame completed by it."""
+        if self._error is not None:
+            raise self._error
+        self._buffer.extend(chunk)
+        frames: list[Frame] = []
+        while True:
+            try:
+                frame, consumed = decode_frame(bytes(self._buffer))
+            except TruncatedError as exc:
+                # Genuinely incomplete input waits for more bytes -- but a
+                # "truncated" header longer than any legal header means the
+                # length varint itself is malformed, not short.
+                if len(self._buffer) > _MAX_HEADER_LEN + MAX_PAYLOAD_LEN + _CRC.size:
+                    self._error = exc
+                    raise
+                return frames
+            except Exception as exc:
+                self._error = exc
+                raise
+            del self._buffer[:consumed]
+            self.frames_decoded += 1
+            self.bytes_consumed += consumed
+            frames.append(frame)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Raises:
+            TruncatedError: if buffered bytes form only part of a frame.
+        """
+        if self._error is None and self._buffer:
+            raise TruncatedError(
+                f"stream ended with {len(self._buffer)} byte(s) of an "
+                "incomplete frame"
+            )
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet part of a complete frame."""
+        return len(self._buffer)

@@ -1,0 +1,131 @@
+"""Loopback driver: a server and client paired in one event loop.
+
+The shared harness behind the ``wire-sweep`` experiment, the throughput
+benchmark, the ``pnm-serve smoke`` CLI and the integration tests: start a
+:class:`~repro.wire.server.SinkServer` on an ephemeral loopback port,
+drive a :class:`~repro.wire.client.SinkClient` through a batch schedule,
+and return every reply plus the server's transport counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.packets.marks import MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.service.ingest import SinkIngestService
+from repro.wire.client import SinkClient
+from repro.wire.errors import RemoteError
+from repro.wire.messages import WireErrorInfo, WireVerdict
+from repro.wire.server import SinkServer
+
+__all__ = ["LoopbackResult", "drive_loopback", "run_loopback"]
+
+#: One scheduled send: ``(packets, delivering_node)``.
+Batch = tuple[list[MarkedPacket], int]
+
+
+@dataclass
+class LoopbackResult:
+    """Everything a loopback run produced.
+
+    Attributes:
+        replies: one entry per batch, in order: the verdict, or the
+            server's error info for batches it rejected.
+        ping_echo: the PING echo payload (``None`` when pinging was off).
+        server_stats: the server's transport counters at shutdown.
+    """
+
+    replies: list[WireVerdict | WireErrorInfo] = field(default_factory=list)
+    ping_echo: bytes | None = None
+    server_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def verdicts(self) -> list[WireVerdict]:
+        """The successful replies only."""
+        return [r for r in self.replies if isinstance(r, WireVerdict)]
+
+    @property
+    def final_verdict(self) -> WireVerdict:
+        """The last successful reply.
+
+        Raises:
+            ValueError: when every batch was rejected.
+        """
+        verdicts = self.verdicts
+        if not verdicts:
+            raise ValueError("loopback run produced no verdicts")
+        return verdicts[-1]
+
+
+async def drive_loopback(
+    service: SinkIngestService,
+    fmt: MarkFormat,
+    batches: list[Batch],
+    ping: bool = True,
+    pipelined: bool = True,
+    retry_after_ms: int = 0,
+) -> LoopbackResult:
+    """Run the batch schedule through a fresh loopback server/client pair.
+
+    Args:
+        service: the ingest pipeline the server feeds (caller owns its
+            lifecycle; it is *not* closed here).
+        fmt: the deployment mark layout.
+        batches: the send schedule.
+        ping: probe the server once before sending (version handshake).
+        pipelined: use :meth:`SinkClient.send_batches` (all writes before
+            any read); sequential ping-pong otherwise.
+        retry_after_ms: server backpressure hint override (0 keeps the
+            server default).
+    """
+    server = SinkServer(service, fmt)
+    if retry_after_ms:
+        server.retry_after_ms = retry_after_ms
+    result = LoopbackResult()
+    async with server:
+        client = SinkClient("127.0.0.1", server.port)
+        async with client:
+            if ping:
+                result.ping_echo = await client.ping()
+            if pipelined:
+                result.replies = await client.send_batches(batches, fmt)
+            else:
+                for packets, delivering_node in batches:
+                    try:
+                        result.replies.append(
+                            await client.send_batch(packets, delivering_node, fmt)
+                        )
+                    except RemoteError as exc:
+                        result.replies.append(
+                            WireErrorInfo(
+                                code=exc.error_code,
+                                retry_after_ms=exc.retry_after_ms,
+                                message=str(exc),
+                            )
+                        )
+        await server.wait_idle()
+    result.server_stats = server.stats()
+    return result
+
+
+def run_loopback(
+    service: SinkIngestService,
+    fmt: MarkFormat,
+    batches: list[Batch],
+    ping: bool = True,
+    pipelined: bool = True,
+    retry_after_ms: int = 0,
+) -> LoopbackResult:
+    """Synchronous wrapper: :func:`drive_loopback` under ``asyncio.run``."""
+    return asyncio.run(
+        drive_loopback(
+            service,
+            fmt,
+            batches,
+            ping=ping,
+            pipelined=pipelined,
+            retry_after_ms=retry_after_ms,
+        )
+    )

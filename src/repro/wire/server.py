@@ -1,0 +1,310 @@
+"""``SinkServer``: the networked front door of the ingest pipeline.
+
+An asyncio TCP server that reads frames (:mod:`repro.wire.frames`), feeds
+decoded batches into an existing
+:class:`~repro.service.SinkIngestService`, and answers each batch with
+the sink's current verdict.  The transport adds no verification logic of
+its own: a batch that reaches the service is byte-for-byte the packets
+the client encoded, so the server's verdicts are identical to feeding
+the same packets to the sink in-process (the loopback parity test pins
+this).
+
+Backpressure is the service's queue, surfaced on the wire: when a batch
+causes the queue to shed packets, the reply is an ERROR frame with code
+``BACKPRESSURE`` and the server's retry-after hint instead of a verdict.
+Accepted packets stay queued and count toward the next verdict.
+
+Verification runs inline in the event loop, one batch at a time.  That
+is deliberate: the service's own :class:`~repro.service.pool.VerificationPool`
+parallelizes *within* a batch, and the sink's merge step is serial by
+contract anyway, so a second event-loop thread would buy nothing but
+reordering hazards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import report_key
+from repro.packets.marks import MarkFormat
+from repro.service.ingest import SinkIngestService
+from repro.wire.errors import ErrorCode, WireError
+from repro.wire.frames import Frame, FrameDecoder, FrameType, encode_frame
+from repro.wire.messages import (
+    WireBatch,
+    WireErrorInfo,
+    WireVerdict,
+    decode_batch,
+    decode_report,
+    encode_error,
+    encode_verdict,
+)
+
+__all__ = ["SinkServer", "DEFAULT_RETRY_AFTER_MS"]
+
+#: Retry hint sent with BACKPRESSURE errors unless overridden.
+DEFAULT_RETRY_AFTER_MS = 50
+
+_READ_CHUNK = 64 * 1024
+
+
+class SinkServer:
+    """Serve a :class:`~repro.service.SinkIngestService` over TCP.
+
+    Args:
+        service: the ingest pipeline to feed; its queue provides the
+            backpressure semantics, its sink provides the verdicts.
+        fmt: the deployment's mark layout.  Batches declaring any other
+            layout are rejected with a single clean error instead of
+            misparsing every mark boundary.
+        host / port: bind address; port 0 picks a free port (see
+            :attr:`port` after :meth:`start`).
+        retry_after_ms: hint carried by BACKPRESSURE error replies.
+        obs: observability provider; ``None`` inherits the service's, so
+            wire counters land in the same registry as ingest counters.
+            Adds ``wire_frames_rx/tx_total`` (labeled by frame type),
+            byte counters, a ``wire_decode_seconds`` histogram, and --
+            when tracing -- a ``wire_rx`` span per packet chained into
+            the packet's existing trace via its report key.
+    """
+
+    def __init__(
+        self,
+        service: SinkIngestService,
+        fmt: MarkFormat,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        obs: ObsProvider | NoopObsProvider | None = None,
+    ):
+        self.service = service
+        self.fmt = fmt
+        self.host = host
+        self._requested_port = port
+        self.retry_after_ms = retry_after_ms
+        self.obs = service.obs if obs is None else resolve_provider(obs)
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_seq = 0
+        self.connections_active = 0
+        self.connections_total = 0
+        self.batches_ok = 0
+        self.batches_rejected = 0
+        self.packets_shed = 0
+        self.decode_errors = 0
+
+    # Lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("SinkServer already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding port 0)."""
+        if self._server is None:
+            raise RuntimeError("SinkServer not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def wait_idle(self, polls: int = 1000) -> bool:
+        """Yield until every connection handler has finished.
+
+        Returns:
+            True when idle; False if handlers were still live after
+            ``polls`` scheduling turns (shutdown proceeds regardless).
+        """
+        for _ in range(polls):
+            if self.connections_active == 0:
+                return True
+            await asyncio.sleep(0.001)
+        return self.connections_active == 0
+
+    async def close(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self.wait_idle()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "SinkServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type: object, exc: object, tb: object) -> None:
+        await self.close()
+
+    # Connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_seq += 1
+        conn_id = self._conn_seq
+        self.connections_total += 1
+        self.connections_active += 1
+        self.obs.inc("wire_connections_total")
+        self.obs.set_gauge("wire_connections_active", self.connections_active)
+        tracer = self.obs.tracer
+        conn_span = (
+            tracer.start("wire_connection", conn=conn_id)
+            if tracer is not None
+            else None
+        )
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    decoder.finish()
+                    break
+                self.obs.inc("wire_bytes_rx_total", len(chunk))
+                for frame in decoder.feed(chunk):
+                    self.obs.inc(
+                        "wire_frames_rx_total", frame=frame.frame_type.name
+                    )
+                    keep_open = await self._dispatch(frame, writer, conn_id)
+                    if not keep_open:
+                        return
+        except WireError as exc:
+            self.decode_errors += 1
+            self.obs.inc("wire_decode_errors_total", kind=type(exc).__name__)
+            await self._send_error(
+                writer, WireErrorInfo(code=exc.code, message=str(exc))
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        finally:
+            self.connections_active -= 1
+            self.obs.set_gauge("wire_connections_active", self.connections_active)
+            if tracer is not None and conn_span is not None:
+                tracer.finish(conn_span)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Shutdown may cancel the handler while the transport
+                # drains; the connection is going away either way.
+                pass
+
+    async def _dispatch(
+        self, frame: Frame, writer: asyncio.StreamWriter, conn_id: int
+    ) -> bool:
+        """Handle one frame; returns False when the connection must close."""
+        if frame.frame_type is FrameType.PING:
+            await self._send(writer, FrameType.PING, frame.payload)
+            return True
+        if frame.frame_type in (FrameType.BATCH, FrameType.REPORT):
+            with self.obs.timer("wire_decode_seconds"):
+                batch = (
+                    decode_batch(frame.payload)
+                    if frame.frame_type is FrameType.BATCH
+                    else decode_report(frame.payload)
+                )
+            await self._ingest_batch(batch, writer, conn_id)
+            return True
+        # VERDICT and ERROR only flow sink -> client; anything else a
+        # client sends is a protocol violation.
+        self.obs.inc("wire_protocol_violations_total")
+        await self._send_error(
+            writer,
+            WireErrorInfo(
+                code=ErrorCode.BAD_FRAME,
+                message=f"unexpected {frame.frame_type.name} frame from client",
+            ),
+        )
+        return False
+
+    async def _ingest_batch(
+        self, batch: WireBatch, writer: asyncio.StreamWriter, conn_id: int
+    ) -> None:
+        if batch.fmt != self.fmt:
+            self.batches_rejected += 1
+            await self._send_error(
+                writer,
+                WireErrorInfo(
+                    code=ErrorCode.BAD_FRAME,
+                    message=(
+                        f"mark format mismatch: batch declares {batch.fmt}, "
+                        f"deployment uses {self.fmt}"
+                    ),
+                ),
+            )
+            return
+        tracer = self.obs.tracer
+        shed = 0
+        for packet in batch.packets:
+            if tracer is not None:
+                tracer.event(
+                    report_key(packet.report), "wire_rx", conn=conn_id
+                )
+            if not self.service.submit(packet, batch.delivering_node):
+                shed += 1
+        if shed:
+            self.batches_rejected += 1
+            self.packets_shed += shed
+            self.obs.inc("wire_batches_shed_total")
+            await self._send_error(
+                writer,
+                WireErrorInfo(
+                    code=ErrorCode.BACKPRESSURE,
+                    retry_after_ms=self.retry_after_ms,
+                    message=(
+                        f"queue shed {shed} of {len(batch.packets)} packets"
+                    ),
+                ),
+            )
+            return
+        self.service.flush()
+        verdict = WireVerdict.from_verdict(self.service.sink.verdict())
+        self.batches_ok += 1
+        await self._send(writer, FrameType.VERDICT, encode_verdict(verdict))
+
+    # Frame output ------------------------------------------------------------
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, frame_type: FrameType, payload: bytes
+    ) -> None:
+        data = encode_frame(frame_type, payload)
+        self.obs.inc("wire_frames_tx_total", frame=frame_type.name)
+        self.obs.inc("wire_bytes_tx_total", len(data))
+        writer.write(data)
+        await writer.drain()
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, info: WireErrorInfo
+    ) -> None:
+        try:
+            await self._send(writer, FrameType.ERROR, encode_error(info))
+        except (ConnectionError, OSError):
+            pass  # best effort: the peer may already be gone
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready transport counters (service stats live on the service)."""
+        return {
+            "connections_total": self.connections_total,
+            "connections_active": self.connections_active,
+            "batches_ok": self.batches_ok,
+            "batches_rejected": self.batches_rejected,
+            "packets_shed": self.packets_shed,
+            "decode_errors": self.decode_errors,
+        }
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._server is None else f"port {self.port}"
+        return (
+            f"SinkServer({state}, conns={self.connections_active}, "
+            f"batches={self.batches_ok})"
+        )

@@ -1,0 +1,29 @@
+"""The wire-sweep experiment: loopback sink vs in-process service."""
+
+from repro.experiments import wire_sweep
+from repro.experiments.cli import _SINGLE_RUNNERS
+from repro.experiments.presets import CI
+
+
+class TestWireSweep:
+    def test_registered_in_cli(self):
+        assert _SINGLE_RUNNERS["wire-sweep"] is wire_sweep.run
+
+    def test_ci_preset_end_to_end(self):
+        result = wire_sweep.run(CI)
+        assert result.figure_id == "wire-sweep"
+        assert [row[0] for row in result.rows] == [
+            "service-inproc",
+            "wire-loopback",
+        ]
+        for throughput in result.column("packets_per_s"):
+            assert throughput > 0
+        # The acceptance claim rides in the notes: both paths reproduced
+        # the serial sink's verdict.
+        assert any("parity" in note and "True" in note for note in result.notes)
+
+    def test_render_smoke(self):
+        result = wire_sweep.run(CI)
+        text = result.render()
+        assert "wire-sweep" in text
+        assert "vs_inproc" in text

@@ -1,0 +1,16 @@
+# lint: module=repro/wire/fixture_codec.py
+"""RL007 negative: strict hand-written parsing, and pickle elsewhere.
+
+``json`` and ``struct`` are fine in codec paths (they cannot execute
+code from input bytes); the rule is also path-scoped, so modules outside
+``repro/wire/``/``repro/packets/`` may legitimately import pickle (e.g.
+an experiment snapshotting its own results).
+"""
+
+import json
+import struct
+
+
+def decode_payload(data: bytes):
+    (length,) = struct.unpack_from(">H", data, 0)
+    return json.loads(data[2 : 2 + length].decode("utf-8"))

@@ -1,0 +1,11 @@
+# lint: module=repro/wire/fixture_codec.py
+"""RL007 positive: object deserializers imported in a codec path."""
+
+import pickle
+from marshal import loads
+
+
+def decode_payload(data: bytes):
+    if data.startswith(b"m"):
+        return loads(data[1:])
+    return pickle.loads(data)  # noqa: S301 - the fixture IS the violation

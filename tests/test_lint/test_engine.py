@@ -110,7 +110,9 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        ):
             assert rule_id in out
 
 

@@ -14,7 +14,7 @@ from repro.lint.registry import all_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
 
 
 def _lint_fixture(name: str):
@@ -25,7 +25,7 @@ def _lint_fixture(name: str):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_shipped_rules_registered(self):
         assert [rule.rule_id for rule in all_rules()] == RULE_IDS
 
 

@@ -95,3 +95,55 @@ class TestDecode:
     def test_roundtrip_property(self, num_marks):
         p = make_packet(num_marks)
         assert MarkedPacket.decode(p.wire(), FMT) == p
+
+
+class TestDecodeTrailingGarbage:
+    """Regression: decode must never silently absorb trailing bytes.
+
+    Without an explicit count, mark-*aligned* garbage is indistinguishable
+    from real marks, so framed transports pass ``num_marks`` and get strict
+    rejection of *any* surplus -- aligned or not.
+    """
+
+    def test_non_aligned_garbage_rejected(self):
+        p = make_packet(3)
+        for extra in range(1, FMT.mark_len):
+            with pytest.raises(ValueError, match="multiple"):
+                MarkedPacket.decode(p.wire() + b"\x00" * extra, FMT)
+
+    def test_aligned_garbage_rejected_with_count(self):
+        p = make_packet(2)
+        garbage = b"\xee" * FMT.mark_len
+        with pytest.raises(ValueError, match="trailing bytes after 2 marks"):
+            MarkedPacket.decode(p.wire() + garbage, FMT, num_marks=2)
+
+    def test_aligned_garbage_without_count_decodes_as_marks(self):
+        # The documented limitation the explicit count exists to close:
+        # aligned surplus parses as (bogus) marks at this layer.
+        p = make_packet(1)
+        decoded = MarkedPacket.decode(p.wire() + b"\xee" * FMT.mark_len, FMT)
+        assert decoded.num_marks == 2
+
+    def test_short_buffer_with_count_rejected(self):
+        p = make_packet(2)
+        with pytest.raises(ValueError, match="buffer too short for 3 marks"):
+            MarkedPacket.decode(p.wire(), FMT, num_marks=3)
+
+    def test_exact_count_accepted(self):
+        p = make_packet(4)
+        assert MarkedPacket.decode(p.wire(), FMT, num_marks=4) == p
+
+    def test_negative_count_rejected(self):
+        p = make_packet(0)
+        with pytest.raises(ValueError, match="num_marks must be >= 0"):
+            MarkedPacket.decode(p.wire(), FMT, num_marks=-1)
+
+    @given(
+        num_marks=st.integers(min_value=0, max_value=6),
+        extra_marks=st.integers(min_value=1, max_value=3),
+    )
+    def test_any_aligned_surplus_rejected_with_count(self, num_marks, extra_marks):
+        p = make_packet(num_marks)
+        data = p.wire() + b"\xab" * (extra_marks * FMT.mark_len)
+        with pytest.raises(ValueError, match="trailing bytes"):
+            MarkedPacket.decode(data, FMT, num_marks=num_marks)

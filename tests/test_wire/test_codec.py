@@ -1,0 +1,126 @@
+"""Varint, mark-format, and packet codec: strict by construction."""
+
+import pytest
+
+from repro.packets.marks import Mark, MarkFormat
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.wire.codec import (
+    MARK_FORMAT_LEN,
+    decode_mark_format,
+    decode_packet,
+    encode_mark_format,
+    encode_packet,
+    read_varint,
+    write_varint,
+)
+from repro.wire.errors import BadFrameError, TruncatedError, WireError
+
+FMT = MarkFormat(id_len=2, mac_len=4)
+
+
+def make_packet(num_marks: int = 2) -> MarkedPacket:
+    report = Report(event=b"ev", location=(-1.5, 2.0), timestamp=7)
+    marks = tuple(
+        Mark(id_field=i.to_bytes(2, "big"), mac=bytes([i] * 4))
+        for i in range(num_marks)
+    )
+    return MarkedPacket(report=report, marks=marks)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        ("value", "encoded"),
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (2**64 - 1, b"\xff" * 9 + b"\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert write_varint(value) == encoded
+        assert read_varint(encoded) == (value, len(encoded))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(-1)
+
+    def test_over_u64_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(2**64)
+
+    def test_truncated_mid_varint(self):
+        with pytest.raises(TruncatedError):
+            read_varint(b"\x80")
+
+    def test_empty_buffer(self):
+        with pytest.raises(TruncatedError):
+            read_varint(b"")
+
+    def test_non_canonical_rejected(self):
+        # 0 padded to two bytes: decodes to 0 under lax LEB128, but the
+        # wire demands the unique shortest form.
+        with pytest.raises(BadFrameError):
+            read_varint(b"\x80\x00")
+
+    def test_eleven_bytes_rejected(self):
+        with pytest.raises(BadFrameError):
+            read_varint(b"\x80" * 10 + b"\x01")
+
+    def test_u64_overflow_rejected(self):
+        # 10 bytes whose value exceeds 2**64 - 1.
+        with pytest.raises(BadFrameError):
+            read_varint(b"\xff" * 9 + b"\x7f")
+
+    def test_offset_respected(self):
+        data = b"\xaa\xbb" + write_varint(300)
+        assert read_varint(data, 2) == (300, 4)
+
+
+class TestMarkFormat:
+    def test_round_trip(self):
+        encoded = encode_mark_format(FMT)
+        assert len(encoded) == MARK_FORMAT_LEN
+        assert decode_mark_format(encoded) == (FMT, MARK_FORMAT_LEN)
+
+    def test_anonymous_flag(self):
+        fmt = MarkFormat(id_len=4, mac_len=4, anonymous=True)
+        decoded, _ = decode_mark_format(encode_mark_format(fmt))
+        assert decoded.anonymous is True
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedError):
+            decode_mark_format(b"\x02")
+
+    def test_unknown_flag_bits(self):
+        with pytest.raises(BadFrameError):
+            decode_mark_format(bytes((2, 4, 0x80)))
+
+
+class TestPacketCodec:
+    def test_round_trip(self):
+        packet = make_packet(3)
+        assert decode_packet(encode_packet(packet), FMT) == packet
+
+    def test_zero_marks(self):
+        packet = make_packet(0)
+        assert decode_packet(encode_packet(packet), FMT) == packet
+
+    def test_trailing_garbage_rejected_even_aligned(self):
+        packet = make_packet(1)
+        body = encode_packet(packet) + b"\xee" * FMT.mark_len
+        with pytest.raises(WireError):
+            decode_packet(body, FMT)
+
+    def test_truncated_is_typed(self):
+        body = encode_packet(make_packet(2))
+        for cut in range(1, len(body)):
+            with pytest.raises(WireError):
+                decode_packet(body[:cut], FMT)
+
+    def test_empty_buffer(self):
+        with pytest.raises(WireError):
+            decode_packet(b"", FMT)

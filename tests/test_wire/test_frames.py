@@ -1,0 +1,140 @@
+"""Frame grammar: version gate, CRC trailer, and the stream decoder."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.wire.errors import (
+    BadCrcError,
+    BadFrameError,
+    BadVersionError,
+    OversizedError,
+    TruncatedError,
+)
+from repro.wire.frames import (
+    MAX_PAYLOAD_LEN,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    decode_frame,
+    encode_frame,
+)
+
+
+def valid_frame(payload: bytes = b"hello") -> bytes:
+    return encode_frame(FrameType.PING, payload)
+
+
+def reframe(body: bytes) -> bytes:
+    """Attach a correct CRC to hand-built header+payload bytes."""
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+class TestDecodeFrame:
+    def test_round_trip(self):
+        frame, consumed = decode_frame(valid_frame())
+        assert frame.frame_type is FrameType.PING
+        assert frame.payload == b"hello"
+        assert consumed == len(valid_frame())
+
+    def test_empty_payload(self):
+        frame, _ = decode_frame(encode_frame(FrameType.VERDICT, b""))
+        assert frame.payload == b""
+
+    def test_trailing_bytes_left_to_caller(self):
+        data = valid_frame() + b"extra"
+        frame, consumed = decode_frame(data)
+        assert consumed == len(data) - 5
+
+    def test_truncation_every_cut(self):
+        data = valid_frame()
+        for cut in range(len(data)):
+            with pytest.raises(TruncatedError):
+                decode_frame(data[:cut])
+
+    def test_bad_version_checked_before_crc(self):
+        # Byte 0 is the version; a future version may use a different
+        # trailer entirely, so the version error must win over BadCrc.
+        data = bytearray(valid_frame())
+        data[0] = PROTOCOL_VERSION + 1
+        with pytest.raises(BadVersionError):
+            decode_frame(bytes(data))
+
+    def test_version_zero_rejected(self):
+        data = bytearray(valid_frame())
+        data[0] = 0
+        with pytest.raises(BadVersionError):
+            decode_frame(bytes(data))
+
+    def test_corrupted_payload_is_bad_crc(self):
+        data = bytearray(valid_frame())
+        data[-5] ^= 0xFF  # last payload byte
+        with pytest.raises(BadCrcError):
+            decode_frame(bytes(data))
+
+    def test_corrupted_type_byte_is_bad_crc(self):
+        # Corruption is BadCrc first; only a CRC-valid unknown type is
+        # BadFrame (the peer honestly speaks a newer grammar).
+        data = bytearray(valid_frame())
+        data[1] = 0xEE
+        with pytest.raises(BadCrcError):
+            decode_frame(bytes(data))
+
+    def test_unknown_type_with_valid_crc_is_bad_frame(self):
+        body = bytes((PROTOCOL_VERSION, 0xEE)) + b"\x00"
+        with pytest.raises(BadFrameError):
+            decode_frame(reframe(body))
+
+    def test_declared_oversize_rejected_before_buffering(self):
+        body = bytes((PROTOCOL_VERSION, int(FrameType.BATCH)))
+        # Declare a payload far over the cap; no payload bytes follow.
+        from repro.wire.codec import write_varint
+
+        with pytest.raises(OversizedError):
+            decode_frame(body + write_varint(MAX_PAYLOAD_LEN + 1))
+
+    def test_encode_oversize_rejected(self):
+        with pytest.raises(OversizedError):
+            encode_frame(FrameType.BATCH, b"\x00" * (MAX_PAYLOAD_LEN + 1))
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time(self):
+        stream = valid_frame(b"a") + valid_frame(b"b")
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(stream)):
+            frames.extend(decoder.feed(stream[i : i + 1]))
+        decoder.finish()
+        assert [f.payload for f in frames] == [b"a", b"b"]
+        assert decoder.frames_decoded == 2
+        assert decoder.bytes_consumed == len(stream)
+        assert decoder.pending_bytes == 0
+
+    def test_error_is_sticky(self):
+        data = bytearray(valid_frame())
+        data[-1] ^= 0x01
+        decoder = FrameDecoder()
+        with pytest.raises(BadCrcError):
+            decoder.feed(bytes(data))
+        with pytest.raises(BadCrcError):
+            decoder.feed(valid_frame())
+
+    def test_finish_flags_partial_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(valid_frame()[:3]) == []
+        with pytest.raises(TruncatedError):
+            decoder.finish()
+
+    def test_finish_clean_on_boundary(self):
+        decoder = FrameDecoder()
+        decoder.feed(valid_frame())
+        decoder.finish()
+
+    def test_bad_version_surfaces_from_feed(self):
+        data = bytearray(valid_frame())
+        data[0] = 9
+        decoder = FrameDecoder()
+        with pytest.raises(BadVersionError):
+            decoder.feed(bytes(data))
