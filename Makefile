@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench experiments experiments-full faults obs serve-smoke examples clean
+.PHONY: install test lint bench experiments experiments-full faults obs serve-smoke cluster-smoke examples clean
 
 install:
 	pip install -e .
@@ -38,6 +38,11 @@ obs:
 # against an in-process sink (docs/wire.md).
 serve-smoke:
 	python -m repro.wire smoke
+
+# Sharded cluster check: 2 shards + coordinator merge, verdict and
+# report byte-identical to a single sink (docs/cluster.md).
+cluster-smoke:
+	python -m repro.cluster smoke
 
 examples:
 	python examples/quickstart.py

@@ -4,9 +4,20 @@ Each benchmark regenerates one of the paper's figures/claims (at the CI
 preset -- pass ``--preset`` sizes by editing
 :mod:`repro.experiments.presets`) and asserts the expected *shape* on the
 result, so a performance run doubles as a reproduction check.
+
+Gate tests additionally publish their measured numbers through the
+``bench_record`` fixture; at session end every recorded group is written
+to ``BENCH_<group>.json`` in the repo root, so CI can archive throughput
+ratios without scraping pytest output.  The files are git-ignored
+artifacts, regenerated per run.
 """
 
+import json
+import pathlib
+
 import pytest
+
+_RECORDS: dict[str, dict[str, dict]] = {}
 
 
 @pytest.fixture(scope="session")
@@ -14,3 +25,27 @@ def preset():
     from repro.experiments.presets import CI
 
     return CI
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one measurement: ``bench_record(group, name, **metrics)``.
+
+    All measurements of a ``group`` end up in ``BENCH_<group>.json``
+    (written once, at session end) keyed by ``name``.  Values must be
+    JSON-serializable; re-recording a name overwrites it.
+    """
+
+    def record(group: str, name: str, **metrics):
+        _RECORDS.setdefault(group, {})[name] = metrics
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    for group in sorted(_RECORDS):
+        path = root / f"BENCH_{group}.json"
+        path.write_text(
+            json.dumps(_RECORDS[group], indent=2, sort_keys=True) + "\n"
+        )

@@ -53,7 +53,7 @@ def run_service(workload, workers: int) -> TracebackSink:
 
 
 class TestThroughputGate:
-    def test_cached_service_is_3x_serial(self, workload):
+    def test_cached_service_is_3x_serial(self, workload, bench_record):
         # Plain wall-clock ratio, deliberately not benchmark-fixture based,
         # so the gate runs (and fails loudly) on every benchmark invocation.
         start = time.perf_counter()
@@ -66,6 +66,15 @@ class TestThroughputGate:
 
         assert service_sink.verdict() == serial_sink.verdict()
         speedup = serial_s / service_s
+        bench_record(
+            "service",
+            "cached_vs_serial",
+            packets=PACKETS,
+            serial_s=serial_s,
+            service_s=service_s,
+            speedup=speedup,
+            gate=3.0,
+        )
         assert speedup >= 3.0, (
             f"cached service only {speedup:.2f}x serial "
             f"({PACKETS / serial_s:.0f} -> {PACKETS / service_s:.0f} pkts/s)"

@@ -73,7 +73,7 @@ def run_wire(workload) -> TracebackSink:
 
 
 class TestThroughputGate:
-    def test_loopback_within_2x_of_in_process(self, workload):
+    def test_loopback_within_2x_of_in_process(self, workload, bench_record):
         # Plain wall-clock ratio, deliberately not benchmark-fixture based,
         # so the gate runs (and fails loudly) on every benchmark invocation.
         start = time.perf_counter()
@@ -86,6 +86,15 @@ class TestThroughputGate:
 
         assert wire_sink.verdict() == inproc_sink.verdict()
         ratio = inproc_s / wire_s
+        bench_record(
+            "wire",
+            "loopback_vs_in_process",
+            packets=PACKETS,
+            in_process_s=inproc_s,
+            wire_s=wire_s,
+            ratio=ratio,
+            gate=MIN_WIRE_RATIO,
+        )
         assert ratio >= MIN_WIRE_RATIO, (
             f"loopback server only {ratio:.2f}x in-process "
             f"({PACKETS / inproc_s:.0f} -> {PACKETS / wire_s:.0f} pkts/s); "

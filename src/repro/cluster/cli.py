@@ -1,0 +1,207 @@
+"""``pnm-cluster``: run (or smoke-test) the sharded sink cluster.
+
+Examples::
+
+    pnm-cluster serve --shards 4 --port 7450 --grid-side 16
+    pnm-cluster smoke                  # 2-shard loopback vs single sink
+
+``serve`` builds one PNM deployment (grid topology, keys derived from
+``--master-secret``) and serves ``--shards`` sink shards on consecutive
+TCP ports, each owning its :class:`~repro.cluster.ring.ShardRing` slice,
+until interrupted.  ``smoke`` proves the cluster invariant in one
+process: it drives the same interleaved multi-source stream through a
+2-shard loopback cluster and through a plain in-process
+:class:`~repro.traceback.sink.TracebackSink`, and exits 0 iff the merged
+verdict and accusation report are byte-identical to the single sink's
+(canonical JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    report_json,
+    verdict_json,
+)
+from repro.cluster.harness import run_cluster
+from repro.cluster.ring import ShardRing, region_shard_key, report_shard_key
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import HmacProvider
+from repro.faults.attribution import DropAttribution, build_accusation_report
+from repro.marking.pnm import PNMMarking
+from repro.net.topology import grid_topology
+from repro.service.ingest import SinkIngestService
+from repro.traceback.sink import TracebackSink
+from repro.wire.server import SinkServer
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pnm-cluster",
+        description="Serve the PNM traceback sink as a sharded cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run N sink shards on consecutive ports"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7450, help="first shard's port"
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--grid-side", type=int, default=16)
+    serve.add_argument("--mark-prob", type=float, default=1.0)
+    serve.add_argument(
+        "--master-secret",
+        default="pnm-cluster",
+        help="master secret the per-node keys derive from",
+    )
+    serve.add_argument("--workers", type=int, default=0)
+    serve.add_argument("--capacity", type=int, default=1024)
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="2-shard loopback vs single sink; exit 0 iff byte-identical",
+    )
+    # Grid 10 with 4 source regions splits traffic 16/16 across the two
+    # default shards (sha256 placement is deterministic), so the smoke
+    # exercises routing, not just one shard's ingest path.
+    smoke.add_argument("--grid-side", type=int, default=10)
+    smoke.add_argument("--packets", type=int, default=32)
+    smoke.add_argument("--shards", type=int, default=2)
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print("pnm-cluster: --shards must be >= 1", file=sys.stderr)
+        return 2
+    scheme = PNMMarking(mark_prob=args.mark_prob)
+    topology = grid_topology(args.grid_side, args.grid_side)
+    keystore = KeyStore.from_master_secret(
+        args.master_secret.encode("utf-8"), topology.sensor_nodes()
+    )
+    ring = ShardRing(range(args.shards))
+    shard_key = report_shard_key
+
+    servers: list[SinkServer] = []
+    services: list[SinkIngestService] = []
+    try:
+        for shard_id in range(args.shards):
+            sink = TracebackSink(scheme, keystore, HmacProvider(), topology)
+            service = SinkIngestService(
+                sink, capacity=args.capacity, workers=args.workers
+            )
+
+            def owns(packet, sid=shard_id):
+                return ring.shard_for(shard_key(packet)) == sid
+
+            server = SinkServer(
+                service,
+                scheme.fmt,
+                host=args.host,
+                port=args.port + shard_id,
+                owns=owns,
+            )
+            await server.start()
+            services.append(service)
+            servers.append(server)
+            print(
+                f"pnm-cluster: shard {shard_id} listening on "
+                f"{args.host}:{server.port}"
+            )
+        print(
+            f"pnm-cluster: {args.shards} shards up "
+            f"({args.grid_side}x{args.grid_side} grid, workers={args.workers})"
+        )
+        await asyncio.gather(
+            *(server.serve_forever() for server in servers)
+        )
+    except asyncio.CancelledError:
+        pass
+    finally:
+        for server in servers:
+            await server.close()
+        for service in services:
+            service.close(drain=False)
+    return 0
+
+
+def _smoke(args: argparse.Namespace) -> int:
+    # Local import: experiments depend on cluster (cluster_sweep), so the
+    # CLI pulls the workload builder lazily to keep imports acyclic.
+    from repro.experiments.cluster_sweep import (
+        build_cluster_workload,
+        make_sink_factory,
+    )
+
+    topology, keystore, batches, _sources = build_cluster_workload(
+        args.grid_side, args.packets, sources=4
+    )
+    scheme = PNMMarking(mark_prob=1.0)
+    attribution = DropAttribution()
+
+    # Reference: one plain in-process sink fed the identical stream.
+    reference = TracebackSink(scheme, keystore, HmacProvider(), topology)
+    for chunk, delivering in batches:
+        for packet in chunk:
+            reference.receive(packet, delivering)
+    expected_verdict = verdict_json(reference.verdict())
+    expected_report = report_json(
+        build_accusation_report(
+            verdict=None,
+            tampered_packets=reference.tampered_packets,
+            topology=topology,
+            attribution=attribution,
+            moles=frozenset(),
+        )
+    )
+
+    result = run_cluster(
+        make_sink_factory(topology, keystore),
+        scheme.fmt,
+        topology,
+        batches,
+        shard_ids=range(args.shards),
+        shard_key=region_shard_key(cell_size=1.0),
+    )
+    coordinator = ClusterCoordinator(topology)
+    got_verdict = verdict_json(result.verdict)
+    got_report = report_json(
+        coordinator.accusation(result.evidence, attribution)
+    )
+
+    ok = got_verdict == expected_verdict and got_report == expected_report
+    status = "OK" if ok else "MISMATCH"
+    total = sum(len(chunk) for chunk, _ in batches)
+    print(
+        f"cluster-smoke: {status} -- {total} packets over {args.shards} "
+        f"shards, merged verdict byte-identical={got_verdict == expected_verdict}, "
+        f"report byte-identical={got_report == expected_report}, "
+        f"stats={result.stats}"
+    )
+    if not ok:
+        print(f"cluster-smoke: expected verdict {expected_verdict}", file=sys.stderr)
+        print(f"cluster-smoke:      got verdict {got_verdict}", file=sys.stderr)
+        print(f"cluster-smoke: expected report {expected_report}", file=sys.stderr)
+        print(f"cluster-smoke:      got report {got_report}", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return asyncio.run(_serve(args))
+    return _smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

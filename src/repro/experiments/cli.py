@@ -19,6 +19,7 @@ from repro import obs as obs_pkg
 from repro.experiments import (
     ablations,
     approaches,
+    cluster_sweep,
     faults_sweep,
     fig4,
     fig5,
@@ -46,6 +47,7 @@ _SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
     "sink-cost": sink_cost.run,
     "service-sweep": service_sweep.run,
     "wire-sweep": wire_sweep.run,
+    "cluster-sweep": cluster_sweep.run,
     "faults-sweep": faults_sweep.run,
     "approaches": approaches.run,
     "overhead": overhead_table.run,

@@ -30,6 +30,7 @@ from repro.faults.attribution import (
     DropAttribution,
     accusation_report,
     attribute_drops,
+    build_accusation_report,
 )
 from repro.faults.injector import AppliedFault, FaultInjector
 from repro.faults.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
@@ -44,4 +45,5 @@ __all__ = [
     "AccusationReport",
     "attribute_drops",
     "accusation_report",
+    "build_accusation_report",
 ]

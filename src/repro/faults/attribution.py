@@ -32,14 +32,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.injector import FaultInjector
+from repro.net.topology import Topology
 from repro.sim.tracing import PacketTracer
-from repro.traceback.sink import TracebackSink
+from repro.traceback.sink import TracebackSink, TracebackVerdict
 
 __all__ = [
     "DropAttribution",
     "AccusationReport",
     "attribute_drops",
     "accusation_report",
+    "build_accusation_report",
 ]
 
 #: Default half-width (virtual seconds) of the window around a fault
@@ -190,15 +192,40 @@ def accusation_report(
     Returns:
         The accusations and the honest-node false-accusation rate.
     """
-    accused: set[int] = set(attribution.suspicious_drops)
     tamper = sink.tampered_packets > 0
-    if tamper:
-        verdict = sink.verdict()
+    return build_accusation_report(
+        verdict=sink.verdict() if tamper else None,
+        tampered_packets=sink.tampered_packets,
+        topology=sink.topology,
+        attribution=attribution,
+        moles=moles,
+    )
+
+
+def build_accusation_report(
+    verdict: TracebackVerdict | None,
+    tampered_packets: int,
+    topology: Topology,
+    attribution: DropAttribution,
+    moles: frozenset[int] | set[int] = frozenset(),
+) -> AccusationReport:
+    """The sink-free core of :func:`accusation_report`.
+
+    Takes an already-computed verdict instead of a live sink, so callers
+    that only hold merged evidence -- the cluster coordinator merging N
+    shards' summaries -- build byte-identical reports through the exact
+    code path the single-sink form uses.  ``verdict`` may be ``None``
+    when ``tampered_packets`` is zero (it is ignored without tamper
+    evidence either way).
+    """
+    accused: set[int] = set(attribution.suspicious_drops)
+    tamper = tampered_packets > 0
+    if tamper and verdict is not None:
         if verdict.identified and verdict.suspect is not None:
             accused.add(verdict.suspect.center)
     honest = sorted(
         node
-        for node in sink.topology.sensor_nodes()
+        for node in topology.sensor_nodes()
         if node not in moles
     )
     false = [node for node in sorted(accused) if node in set(honest)]

@@ -50,6 +50,7 @@ _RL002_SCOPE = (
     "repro/faults/",
     "repro/obs/",
     "repro/wire/",
+    "repro/cluster/",
 )
 
 

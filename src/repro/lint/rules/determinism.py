@@ -32,6 +32,7 @@ _RL004_SCOPE = (
     "repro/faults/",
     "repro/obs/",
     "repro/wire/",
+    "repro/cluster/",
 )
 
 _RL006_SCOPE = (
@@ -49,6 +50,10 @@ _RL006_SCOPE = (
     # scheduler, never by reading the wall clock directly -- that is what
     # keeps loopback protocol tests deterministic.
     "repro/wire/",
+    # Same contract for the shard cluster: failover and rebalance react to
+    # connection errors and retry hints, never to elapsed wall time, so
+    # churn tests replay identically.  Timing lives in experiments/benches.
+    "repro/cluster/",
 )
 
 _WALL_CLOCK_CALLS = {

@@ -286,6 +286,19 @@ class SinkIngestService:
         if self.cache is not None:
             self.cache.invalidate_node(node_id)
 
+    def invalidate_all(self) -> None:
+        """Purge every memoized table and the whole marker hot-set.
+
+        The rebalance-scale form of :meth:`invalidate_node`: when a
+        cluster shard's key range changes (a peer died or joined), the
+        routes it will see shift wholesale and per-node purges would have
+        to enumerate the world.  Verification correctness never depends
+        on the cache, so the only cost is re-warming.  No-op when caching
+        is disabled.
+        """
+        if self.cache is not None:
+            self.cache.clear()
+
     # Observability -----------------------------------------------------------
 
     def _on_revoked(self, record: RevocationRecord) -> None:

@@ -23,7 +23,13 @@ from repro.traceback.resolver import (
     ExhaustiveResolver,
     TopologyBoundedResolver,
 )
-from repro.traceback.sink import TracebackSink, TracebackVerdict
+from repro.traceback.sink import (
+    SinkEvidence,
+    TracebackSink,
+    TracebackVerdict,
+    compute_verdict,
+    evidence_precedence,
+)
 from repro.traceback.verify import PacketVerification, PacketVerifier, VerifiedMark
 
 __all__ = [
@@ -39,6 +45,9 @@ __all__ = [
     "localize",
     "TracebackSink",
     "TracebackVerdict",
+    "SinkEvidence",
+    "compute_verdict",
+    "evidence_precedence",
     "MultiSourceTracebackSink",
     "MultiSourceVerdict",
     "PairAwareNestedMarking",

@@ -13,6 +13,7 @@ filtering (:mod:`repro.filtering`).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import networkx as nx
@@ -29,7 +30,13 @@ from repro.traceback.reconstruct import PrecedenceGraph, RouteAnalysis
 from repro.traceback.resolver import Resolver
 from repro.traceback.verify import PacketVerification, PacketVerifier
 
-__all__ = ["TracebackSink", "TracebackVerdict"]
+__all__ = [
+    "TracebackSink",
+    "TracebackVerdict",
+    "SinkEvidence",
+    "compute_verdict",
+    "evidence_precedence",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,149 @@ class TracebackVerdict:
     packets_used: int
     loop_detected: bool
     analysis: RouteAnalysis
+
+
+@dataclass(frozen=True)
+class SinkEvidence:
+    """The order-insensitive evidence a sink has accumulated.
+
+    Everything :func:`compute_verdict` needs, in a canonical (sorted)
+    transportable form.  Two key properties make sharded deployments
+    possible (:mod:`repro.cluster`):
+
+    * **Verdict-sufficiency**: the verdict is a pure function of this
+      record plus the topology -- :meth:`TracebackSink.verdict` and a
+      coordinator merging shard evidence run the *same* code path, so a
+      merged verdict cannot drift from the single-sink one.
+    * **Additivity**: evidence from disjoint packet subsets combines by
+      union (nodes/edges), by summed multiset (tamper stops), and by sum
+      (counters).  Precedence edges are idempotent, so the union over any
+      partition of a packet stream equals the single sink's graph.
+
+    Attributes:
+        nodes: every verified marker node, ascending.
+        edges: verified precedence edges ``(upstream, downstream)``,
+            sorted ascending.
+        tamper_stops: ``(stop_node, count)`` pairs from tampered packets,
+            sorted by node.
+        packets_received / tampered_packets / chains_with_marks /
+        fallback_searches: the sink's additive counters.
+        delivering_node: the localization fallback neighbor (the last
+            delivering node for a live sink; a deterministic choice when
+            merged -- see :func:`repro.cluster.merge_evidence`).
+    """
+
+    nodes: tuple[int, ...] = ()
+    edges: tuple[tuple[int, int], ...] = ()
+    tamper_stops: tuple[tuple[int, int], ...] = ()
+    packets_received: int = 0
+    tampered_packets: int = 0
+    chains_with_marks: int = 0
+    fallback_searches: int = 0
+    delivering_node: int | None = None
+
+
+def evidence_precedence(evidence: SinkEvidence) -> PrecedenceGraph:
+    """Rebuild the precedence graph a :class:`SinkEvidence` describes."""
+    precedence = PrecedenceGraph()
+    for node in evidence.nodes:
+        precedence.add_chain([node])
+    for upstream, downstream in evidence.edges:
+        precedence.add_chain([upstream, downstream])
+    return precedence
+
+
+def compute_verdict(
+    precedence: PrecedenceGraph,
+    tamper_stops: Mapping[int, int],
+    tampered_packets: int,
+    chains_with_marks: int,
+    packets_received: int,
+    topology: Topology,
+    delivering_node: int | None,
+    obs: ObsProvider | NoopObsProvider | None = None,
+) -> TracebackVerdict:
+    """The paper's verdict logic as a pure function of accumulated evidence.
+
+    Shared by :meth:`TracebackSink.verdict` (live, per-sink state) and
+    the cluster coordinator (merged multi-shard state), which is what
+    guarantees a merged verdict is byte-identical to the single-sink one
+    on the same evidence.
+
+    Evidence is combined in the paper's order: the reconstructed route
+    (most upstream node, or the loop attachment under identity swapping)
+    when it is unequivocal, otherwise the tamper evidence accumulated
+    from packets whose MACs failed verification.
+
+    The two evidence streams are weighed by mass: when more packets
+    arrived *tampered* than contributed any verified chain, the route
+    picture is too sparse to trust (a mole invalidating nearly every
+    mark can leave one lucky lone marker looking like a unique most
+    upstream node), so the tamper stopping nodes -- each guaranteed
+    downstream of the manipulating mole by consecutive traceability --
+    decide instead.
+    """
+    provider = resolve_provider(obs)
+    with provider.timer("route_analysis_seconds"):
+        analysis = precedence.analyze()
+    suspect = localize(analysis, topology, delivering_node)
+    if (
+        suspect is not None
+        and not suspect.via_loop
+        and tampered_packets > chains_with_marks
+    ):
+        dominant = _tamper_suspect(precedence, tamper_stops, topology)
+        if dominant is not None:
+            suspect = dominant
+    if suspect is None:
+        suspect = _tamper_suspect(precedence, tamper_stops, topology)
+    return TracebackVerdict(
+        identified=suspect is not None,
+        suspect=suspect,
+        packets_used=packets_received,
+        loop_detected=analysis.has_loop,
+        analysis=analysis,
+    )
+
+
+def _tamper_suspect(
+    precedence: PrecedenceGraph,
+    tamper_stops: Mapping[int, int],
+    topology: Topology,
+) -> SuspectNeighborhood | None:
+    """Localize from tampered packets' stopping nodes.
+
+    Each tampered packet's stopping node lies downstream of the
+    manipulating mole; the most upstream stopping node observed (per
+    the precedence evidence) converges to the mole's next marking
+    neighbor.  Centers the suspect there.
+    """
+    if not tamper_stops:
+        return None
+    stops = sorted(tamper_stops)
+    graph = precedence.to_networkx()
+
+    def is_downstream_of_another(node: int) -> bool:
+        for other in stops:
+            if other == node or other not in graph or node not in graph:
+                continue
+            if nx.has_path(graph, other, node):
+                return True
+        return False
+
+    most_upstream = [s for s in stops if not is_downstream_of_another(s)]
+    # Deterministic choice among incomparable stops: the most frequent,
+    # then the smallest ID.
+    center = min(
+        most_upstream,
+        key=lambda s: (-tamper_stops[s], s),
+    )
+    if center == topology.sink:
+        return None
+    return SuspectNeighborhood(
+        center=center,
+        members=frozenset(topology.closed_neighborhood(center)),
+    )
 
 
 class TracebackSink:
@@ -176,72 +326,42 @@ class TracebackSink:
     def verdict(self) -> TracebackVerdict:
         """The sink's aggregate answer over every packet seen so far.
 
-        Evidence is combined in the paper's order: the reconstructed route
-        (most upstream node, or the loop attachment under identity
-        swapping) when it is unequivocal, otherwise the tamper evidence
-        accumulated from packets whose MACs failed verification.
-
-        The two evidence streams are weighed by mass: when more packets
-        arrived *tampered* than contributed any verified chain, the route
-        picture is too sparse to trust (a mole invalidating nearly every
-        mark can leave one lucky lone marker looking like a unique most
-        upstream node), so the tamper stopping nodes -- each guaranteed
-        downstream of the manipulating mole by consecutive traceability --
-        decide instead.
+        Delegates to :func:`compute_verdict` over this sink's live state;
+        see there for how the route and tamper evidence streams combine.
         """
-        analysis = self.route_analysis()
-        suspect = localize(analysis, self.topology, self._last_delivering_node)
-        if (
-            suspect is not None
-            and not suspect.via_loop
-            and self.tampered_packets > self.chains_with_marks
-        ):
-            dominant = self._tamper_suspect()
-            if dominant is not None:
-                suspect = dominant
-        if suspect is None:
-            suspect = self._tamper_suspect()
-        return TracebackVerdict(
-            identified=suspect is not None,
-            suspect=suspect,
-            packets_used=self.packets_received,
-            loop_detected=analysis.has_loop,
-            analysis=analysis,
+        return compute_verdict(
+            self.precedence,
+            self._tamper_stop_nodes,
+            self.tampered_packets,
+            self.chains_with_marks,
+            self.packets_received,
+            self.topology,
+            self._last_delivering_node,
+            obs=self.obs,
         )
 
-    def _tamper_suspect(self) -> SuspectNeighborhood | None:
-        """Localize from tampered packets' stopping nodes.
+    def evidence(self) -> SinkEvidence:
+        """Snapshot this sink's accumulated evidence in canonical form.
 
-        Each tampered packet's stopping node lies downstream of the
-        manipulating mole; the most upstream stopping node observed (per
-        the precedence evidence) converges to the mole's next marking
-        neighbor.  Centers the suspect there.
+        The returned record is verdict-sufficient: feeding it (rebuilt via
+        :func:`evidence_precedence`) back through :func:`compute_verdict`
+        with the same topology reproduces :meth:`verdict` exactly.  Shards
+        export this over the wire (SUMMARY frames) for the cluster
+        coordinator to merge.
         """
-        if not self._tamper_stop_nodes:
-            return None
-        stops = sorted(self._tamper_stop_nodes)
         graph = self.precedence.to_networkx()
-
-        def is_downstream_of_another(node: int) -> bool:
-            for other in stops:
-                if other == node or other not in graph or node not in graph:
-                    continue
-                if nx.has_path(graph, other, node):
-                    return True
-            return False
-
-        most_upstream = [s for s in stops if not is_downstream_of_another(s)]
-        # Deterministic choice among incomparable stops: the most frequent,
-        # then the smallest ID.
-        center = min(
-            most_upstream,
-            key=lambda s: (-self._tamper_stop_nodes[s], s),
-        )
-        if center == self.topology.sink:
-            return None
-        return SuspectNeighborhood(
-            center=center,
-            members=frozenset(self.topology.closed_neighborhood(center)),
+        return SinkEvidence(
+            nodes=tuple(sorted(graph.nodes)),
+            edges=tuple(sorted(graph.edges)),
+            tamper_stops=tuple(
+                (node, self._tamper_stop_nodes[node])
+                for node in sorted(self._tamper_stop_nodes)
+            ),
+            packets_received=self.packets_received,
+            tampered_packets=self.tampered_packets,
+            chains_with_marks=self.chains_with_marks,
+            fallback_searches=self.fallback_searches,
+            delivering_node=self._last_delivering_node,
         )
 
     def __repr__(self) -> str:

@@ -24,10 +24,12 @@ from repro.wire.errors import (
     ConnectError,
     ErrorCode,
     OversizedError,
+    PingTimeoutError,
     RemoteError,
     TrailingBytesError,
     TruncatedError,
     WireError,
+    WrongShardError,
 )
 from repro.wire.frames import (
     MAX_PAYLOAD_LEN,
@@ -46,10 +48,12 @@ from repro.wire.messages import (
     decode_batch,
     decode_error,
     decode_report,
+    decode_summary,
     decode_verdict,
     encode_batch,
     encode_error,
     encode_report,
+    encode_summary,
     encode_verdict,
 )
 from repro.wire.server import SinkServer
@@ -65,8 +69,10 @@ __all__ = [
     "BadFrameError",
     "TrailingBytesError",
     "ConnectError",
+    "PingTimeoutError",
     "RemoteError",
     "BackpressureError",
+    "WrongShardError",
     "ErrorCode",
     "Frame",
     "FrameType",
@@ -86,6 +92,8 @@ __all__ = [
     "decode_verdict",
     "encode_error",
     "decode_error",
+    "encode_summary",
+    "decode_summary",
     "SinkServer",
     "SinkClient",
     "LoopbackResult",

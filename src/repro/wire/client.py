@@ -24,19 +24,23 @@ from collections import deque
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
+from repro.traceback.sink import SinkEvidence
 from repro.wire.errors import (
     BackpressureError,
     BadFrameError,
     ConnectError,
     ErrorCode,
+    PingTimeoutError,
     RemoteError,
     TruncatedError,
+    WrongShardError,
 )
 from repro.wire.frames import Frame, FrameDecoder, FrameType, encode_frame
 from repro.wire.messages import (
     WireErrorInfo,
     WireVerdict,
     decode_error,
+    decode_summary,
     decode_verdict,
     encode_batch,
     encode_error,
@@ -174,6 +178,8 @@ class SinkClient:
     def _raise_remote(info: WireErrorInfo) -> RemoteError:
         if info.code is ErrorCode.BACKPRESSURE:
             return BackpressureError(info.message, info.retry_after_ms)
+        if info.code is ErrorCode.WRONG_SHARD:
+            return WrongShardError(info.message, info.retry_after_ms)
         return RemoteError(info.code, info.message, info.retry_after_ms)
 
     def _parse_reply(self, frame: Frame) -> WireVerdict | WireErrorInfo:
@@ -203,6 +209,44 @@ class SinkClient:
                 f"expected PING echo, got {reply.frame_type.name}"
             )
         return reply.payload
+
+    async def health_check(
+        self, timeout: float = 1.0, payload: bytes = b"pnm"
+    ) -> bytes:
+        """A :meth:`ping` with a deadline: the liveness probe form.
+
+        Returns:
+            the echoed payload when the peer answered in time.
+
+        Raises:
+            PingTimeoutError: when no echo arrived within ``timeout``
+                seconds (the connection may still be half-open; callers
+                should treat the peer as down and :meth:`close`).
+            RemoteError: when the peer answered with an ERROR frame.
+        """
+        try:
+            return await asyncio.wait_for(self.ping(payload), timeout=timeout)
+        except asyncio.TimeoutError:
+            raise PingTimeoutError(
+                f"no PING echo from {self.host}:{self.port} within "
+                f"{timeout:g}s"
+            ) from None
+
+    async def fetch_summary(self) -> SinkEvidence:
+        """Request the sink's evidence snapshot (SUMMARY round trip).
+
+        The server flushes its ingest queue first, so the snapshot covers
+        every batch this client has had acknowledged.
+        """
+        await self._write_frame(FrameType.SUMMARY, b"")
+        reply = await self._read_frame()
+        if reply.frame_type is FrameType.ERROR:
+            raise self._raise_remote(decode_error(reply.payload))
+        if reply.frame_type is not FrameType.SUMMARY:
+            raise BadFrameError(
+                f"expected SUMMARY reply, got {reply.frame_type.name}"
+            )
+        return decode_summary(reply.payload)
 
     async def send_report(
         self, packet: MarkedPacket, delivering_node: int, fmt: MarkFormat

@@ -22,8 +22,10 @@ __all__ = [
     "BadFrameError",
     "TrailingBytesError",
     "ConnectError",
+    "PingTimeoutError",
     "RemoteError",
     "BackpressureError",
+    "WrongShardError",
     "ErrorCode",
 ]
 
@@ -36,6 +38,7 @@ class ErrorCode(enum.IntEnum):
     BAD_VERSION = 3  #: protocol version mismatch
     OVERSIZED = 4  #: declared payload exceeds the receiver's limit
     INTERNAL = 5  #: server-side failure unrelated to the bytes received
+    WRONG_SHARD = 6  #: batch routed to a shard that does not own its keys
 
 
 class WireError(Exception):
@@ -79,6 +82,17 @@ class ConnectError(WireError):
     code = ErrorCode.INTERNAL
 
 
+class PingTimeoutError(WireError):
+    """A health-check PING went unanswered within its deadline.
+
+    Distinct from :class:`ConnectError`: the connection exists but the
+    peer is unresponsive -- a liveness prober treats both as "down" but
+    logs them differently (a wedged shard vs. an unreachable one).
+    """
+
+    code = ErrorCode.INTERNAL
+
+
 class RemoteError(WireError):
     """The peer answered with an ERROR frame.
 
@@ -100,3 +114,17 @@ class BackpressureError(RemoteError):
 
     def __init__(self, message: str, retry_after_ms: int):
         super().__init__(ErrorCode.BACKPRESSURE, message, retry_after_ms)
+
+
+class WrongShardError(RemoteError):
+    """The shard rejected a batch it does not own.
+
+    Raised client-side when a shard answers ``WRONG_SHARD``: the sender's
+    ring view is stale (a shard joined or left since the batch was
+    routed).  The router reacts by re-deriving ownership from its current
+    ring and resending -- the batch itself is intact, only its address
+    was wrong.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__(ErrorCode.WRONG_SHARD, message, retry_after_ms)

@@ -58,13 +58,14 @@ _CRC = struct.Struct(">I")
 
 
 class FrameType(enum.IntEnum):
-    """The five frame types of protocol v1."""
+    """The frame types of protocol v1."""
 
     REPORT = 1  #: one marked packet (``delivering | fmt | packet``)
     BATCH = 2  #: many marked packets sharing one delivering node
     VERDICT = 3  #: the sink's current traceback verdict
     PING = 4  #: liveness + version probe; echoed verbatim by the peer
     ERROR = 5  #: typed rejection (``code | retry_after_ms | message``)
+    SUMMARY = 6  #: evidence snapshot request/reply (cluster verdict merge)
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
 from repro.traceback.localize import SuspectNeighborhood
-from repro.traceback.sink import TracebackVerdict
+from repro.traceback.sink import SinkEvidence, TracebackVerdict
 from repro.wire.codec import (
     decode_mark_format,
     decode_packet,
@@ -48,6 +48,8 @@ __all__ = [
     "decode_verdict",
     "encode_error",
     "decode_error",
+    "encode_summary",
+    "decode_summary",
 ]
 
 _MAX_ERROR_MESSAGE_LEN = 4096
@@ -270,6 +272,109 @@ def encode_error(info: WireErrorInfo) -> bytes:
         + write_varint(info.retry_after_ms)
         + write_varint(len(message))
         + message
+    )
+
+
+_SUMMARY_FLAG_DELIVERING = 0x01
+_SUMMARY_KNOWN_FLAGS = 0x01
+
+
+def encode_summary(evidence: SinkEvidence) -> bytes:
+    """Serialize a :class:`~repro.traceback.sink.SinkEvidence` snapshot.
+
+    Grammar (every integer a varint unless noted)::
+
+        summary := counters flags [delivering] nodes edges stops
+        counters := packets_received tampered_packets chains_with_marks
+                    fallback_searches
+        flags   := u8                      -- bit 0: delivering present
+        nodes   := count count x node
+        edges   := count count x (upstream downstream)
+        stops   := count count x (node stop_count)
+
+    Nodes, edges and stops are written in the canonical sorted order
+    :meth:`~repro.traceback.sink.TracebackSink.evidence` produces, so two
+    shards with identical evidence encode identical bytes.
+    """
+    flags = 0
+    if evidence.delivering_node is not None:
+        flags |= _SUMMARY_FLAG_DELIVERING
+    parts = [
+        write_varint(evidence.packets_received),
+        write_varint(evidence.tampered_packets),
+        write_varint(evidence.chains_with_marks),
+        write_varint(evidence.fallback_searches),
+        bytes((flags,)),
+    ]
+    if evidence.delivering_node is not None:
+        parts.append(write_varint(evidence.delivering_node))
+    parts.append(write_varint(len(evidence.nodes)))
+    parts.extend(write_varint(node) for node in evidence.nodes)
+    parts.append(write_varint(len(evidence.edges)))
+    for upstream, downstream in evidence.edges:
+        parts.append(write_varint(upstream))
+        parts.append(write_varint(downstream))
+    parts.append(write_varint(len(evidence.tamper_stops)))
+    for node, stop_count in evidence.tamper_stops:
+        parts.append(write_varint(node))
+        parts.append(write_varint(stop_count))
+    return b"".join(parts)
+
+
+def decode_summary(payload: bytes) -> SinkEvidence:
+    """Parse a SUMMARY payload; the whole payload must be consumed."""
+    packets_received, offset = read_varint(payload, 0)
+    tampered_packets, offset = read_varint(payload, offset)
+    chains_with_marks, offset = read_varint(payload, offset)
+    fallback_searches, offset = read_varint(payload, offset)
+    if len(payload) - offset < 1:
+        raise TruncatedError("SUMMARY payload ended before its flags byte")
+    flags = payload[offset]
+    offset += 1
+    if flags & ~_SUMMARY_KNOWN_FLAGS:
+        raise BadFrameError(f"unknown summary flag bits: {flags:#04x}")
+    delivering_node: int | None = None
+    if flags & _SUMMARY_FLAG_DELIVERING:
+        delivering_node, offset = read_varint(payload, offset)
+    node_count, offset = read_varint(payload, offset)
+    if node_count > len(payload):
+        raise BadFrameError(
+            f"node count {node_count} exceeds payload size {len(payload)}"
+        )
+    nodes = []
+    for _ in range(node_count):
+        node, offset = read_varint(payload, offset)
+        nodes.append(node)
+    edge_count, offset = read_varint(payload, offset)
+    if edge_count > len(payload):
+        raise BadFrameError(
+            f"edge count {edge_count} exceeds payload size {len(payload)}"
+        )
+    edges = []
+    for _ in range(edge_count):
+        upstream, offset = read_varint(payload, offset)
+        downstream, offset = read_varint(payload, offset)
+        edges.append((upstream, downstream))
+    stop_count, offset = read_varint(payload, offset)
+    if stop_count > len(payload):
+        raise BadFrameError(
+            f"stop count {stop_count} exceeds payload size {len(payload)}"
+        )
+    stops = []
+    for _ in range(stop_count):
+        node, offset = read_varint(payload, offset)
+        hits, offset = read_varint(payload, offset)
+        stops.append((node, hits))
+    _require_consumed(payload, offset, "SUMMARY")
+    return SinkEvidence(
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        tamper_stops=tuple(stops),
+        packets_received=packets_received,
+        tampered_packets=tampered_packets,
+        chains_with_marks=chains_with_marks,
+        fallback_searches=fallback_searches,
+        delivering_node=delivering_node,
     )
 
 

@@ -24,10 +24,12 @@ reordering hazards.
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Callable
 
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
 from repro.obs.spans import report_key
 from repro.packets.marks import MarkFormat
+from repro.packets.packet import MarkedPacket
 from repro.service.ingest import SinkIngestService
 from repro.wire.errors import ErrorCode, WireError
 from repro.wire.frames import Frame, FrameDecoder, FrameType, encode_frame
@@ -38,6 +40,7 @@ from repro.wire.messages import (
     decode_batch,
     decode_report,
     encode_error,
+    encode_summary,
     encode_verdict,
 )
 
@@ -61,6 +64,12 @@ class SinkServer:
         host / port: bind address; port 0 picks a free port (see
             :attr:`port` after :meth:`start`).
         retry_after_ms: hint carried by BACKPRESSURE error replies.
+        owns: optional ownership predicate for cluster shards.  When set,
+            a batch containing any packet for which ``owns(packet)`` is
+            False is rejected whole with a ``WRONG_SHARD`` error *before*
+            anything is submitted -- the sender's ring view is stale and
+            must re-route the entire batch, so partial ingest would
+            double-count packets after the resend.
         obs: observability provider; ``None`` inherits the service's, so
             wire counters land in the same registry as ingest counters.
             Adds ``wire_frames_rx/tx_total`` (labeled by frame type),
@@ -76,6 +85,7 @@ class SinkServer:
         host: str = "127.0.0.1",
         port: int = 0,
         retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        owns: Callable[[MarkedPacket], bool] | None = None,
         obs: ObsProvider | NoopObsProvider | None = None,
     ):
         self.service = service
@@ -83,13 +93,16 @@ class SinkServer:
         self.host = host
         self._requested_port = port
         self.retry_after_ms = retry_after_ms
+        self.owns = owns
         self.obs = service.obs if obs is None else resolve_provider(obs)
         self._server: asyncio.base_events.Server | None = None
         self._conn_seq = 0
+        self._conn_writers: dict[int, asyncio.StreamWriter] = {}
         self.connections_active = 0
         self.connections_total = 0
         self.batches_ok = 0
         self.batches_rejected = 0
+        self.batches_wrong_shard = 0
         self.packets_shed = 0
         self.decode_errors = 0
 
@@ -139,6 +152,28 @@ class SinkServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def abort(self) -> None:
+        """Crash-stop: sever every live connection, then close.
+
+        Unlike :meth:`close` -- which stops *accepting* but lets handlers
+        drain -- this abruptly aborts each connection's transport, the
+        way a crashed shard would look to its peers: mid-stream resets,
+        no farewell frames.  The cluster churn harness uses it to make a
+        shard failure observable to routers as a connection error.
+        """
+        for conn_id in sorted(self._conn_writers):
+            writer = self._conn_writers.get(conn_id)
+            if writer is None:
+                continue
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._server is not None:
+            self._server.close()
+            await self.wait_idle()
+            await self._server.wait_closed()
+            self._server = None
+
     async def __aenter__(self) -> "SinkServer":
         await self.start()
         return self
@@ -153,6 +188,7 @@ class SinkServer:
     ) -> None:
         self._conn_seq += 1
         conn_id = self._conn_seq
+        self._conn_writers[conn_id] = writer
         self.connections_total += 1
         self.connections_active += 1
         self.obs.inc("wire_connections_total")
@@ -187,6 +223,7 @@ class SinkServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away; nothing to answer
         finally:
+            self._conn_writers.pop(conn_id, None)
             self.connections_active -= 1
             self.obs.set_gauge("wire_connections_active", self.connections_active)
             if tracer is not None and conn_span is not None:
@@ -214,6 +251,15 @@ class SinkServer:
                     else decode_report(frame.payload)
                 )
             await self._ingest_batch(batch, writer, conn_id)
+            return True
+        if frame.frame_type is FrameType.SUMMARY:
+            # Evidence snapshot: flush so the summary covers every batch
+            # acknowledged on this connection, then encode the sink state.
+            self.service.flush()
+            evidence = self.service.sink.evidence()
+            await self._send(
+                writer, FrameType.SUMMARY, encode_summary(evidence)
+            )
             return True
         # VERDICT and ERROR only flow sink -> client; anything else a
         # client sends is a protocol violation.
@@ -243,6 +289,25 @@ class SinkServer:
                 ),
             )
             return
+        if self.owns is not None:
+            foreign = sum(
+                1 for packet in batch.packets if not self.owns(packet)
+            )
+            if foreign:
+                self.batches_rejected += 1
+                self.batches_wrong_shard += 1
+                self.obs.inc("wire_batches_wrong_shard_total")
+                await self._send_error(
+                    writer,
+                    WireErrorInfo(
+                        code=ErrorCode.WRONG_SHARD,
+                        message=(
+                            f"{foreign} of {len(batch.packets)} packets "
+                            "belong to another shard; re-route the batch"
+                        ),
+                    ),
+                )
+                return
         tracer = self.obs.tracer
         shed = 0
         for packet in batch.packets:
@@ -298,6 +363,7 @@ class SinkServer:
             "connections_active": self.connections_active,
             "batches_ok": self.batches_ok,
             "batches_rejected": self.batches_rejected,
+            "batches_wrong_shard": self.batches_wrong_shard,
             "packets_shed": self.packets_shed,
             "decode_errors": self.decode_errors,
         }

@@ -1,0 +1,235 @@
+"""Cluster-facing wire features: SUMMARY frames, health checks, WRONG_SHARD.
+
+The cluster layer (:mod:`repro.cluster`) rides three protocol additions:
+evidence snapshots over SUMMARY frames (verdict merge), PING-based
+health checks with a typed timeout (liveness probes), and whole-batch
+WRONG_SHARD rejection via the server's ``owns`` predicate (stale-ring
+safety).  These tests pin the wire-level behavior of each, independent
+of any cluster harness.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.experiments.service_sweep import build_workload
+from repro.crypto.mac import HmacProvider
+from repro.marking.pnm import PNMMarking
+from repro.service import SinkIngestService
+from repro.traceback.sink import SinkEvidence, TracebackSink
+from repro.wire.client import SinkClient
+from repro.wire.errors import (
+    BadFrameError,
+    PingTimeoutError,
+    TrailingBytesError,
+    TruncatedError,
+    WrongShardError,
+)
+from repro.wire.messages import decode_summary, encode_summary
+
+GRID_SIDE = 6
+PACKETS = 12
+FMT = PNMMarking(mark_prob=1.0).fmt
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(GRID_SIDE, PACKETS)
+
+
+def make_service(workload) -> SinkIngestService:
+    topology, keystore, stream, _delivering = workload
+    sink = TracebackSink(
+        PNMMarking(mark_prob=1.0), keystore, HmacProvider(), topology
+    )
+    return SinkIngestService(sink, capacity=len(stream), workers=0)
+
+
+def sample_evidence(delivering: int | None = 7) -> SinkEvidence:
+    return SinkEvidence(
+        nodes=(1, 2, 3, 9),
+        edges=((1, 2), (2, 3), (3, 9)),
+        tamper_stops=((2, 4), (9, 1)),
+        packets_received=25,
+        tampered_packets=5,
+        chains_with_marks=20,
+        fallback_searches=3,
+        delivering_node=delivering,
+    )
+
+
+class TestSummaryCodec:
+    def test_round_trip(self):
+        evidence = sample_evidence()
+        assert decode_summary(encode_summary(evidence)) == evidence
+
+    def test_round_trip_without_delivering_node(self):
+        evidence = sample_evidence(delivering=None)
+        decoded = decode_summary(encode_summary(evidence))
+        assert decoded == evidence
+        assert decoded.delivering_node is None
+
+    def test_round_trip_empty_evidence(self):
+        evidence = SinkEvidence(
+            nodes=(),
+            edges=(),
+            tamper_stops=(),
+            packets_received=0,
+            tampered_packets=0,
+            chains_with_marks=0,
+            fallback_searches=0,
+            delivering_node=None,
+        )
+        assert decode_summary(encode_summary(evidence)) == evidence
+
+    def test_identical_evidence_encodes_identical_bytes(self):
+        assert encode_summary(sample_evidence()) == encode_summary(
+            sample_evidence()
+        )
+
+    def test_truncation_every_prefix_raises_cleanly(self):
+        payload = encode_summary(sample_evidence())
+        for cut in range(len(payload)):
+            with pytest.raises((TruncatedError, BadFrameError)):
+                decode_summary(payload[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_summary(sample_evidence())
+        with pytest.raises(TrailingBytesError):
+            decode_summary(payload + b"\x00")
+
+    def test_unknown_flag_bits_rejected(self):
+        payload = bytearray(encode_summary(sample_evidence(delivering=None)))
+        # Flags byte sits right after the four counter varints (all small
+        # here, one byte each).
+        assert payload[4] == 0
+        payload[4] = 0x80
+        with pytest.raises(BadFrameError, match="flag"):
+            decode_summary(bytes(payload))
+
+    def test_absurd_count_rejected_before_allocation(self):
+        payload = bytearray(encode_summary(sample_evidence(delivering=None)))
+        # Replace the node count (offset 5: 4 counters + flags) with a
+        # huge varint claiming more nodes than the payload could hold.
+        huge = b"\xff\xff\xff\xff\x7f"  # varint for ~34 billion
+        corrupted = bytes(payload[:5]) + huge + bytes(payload[6:])
+        with pytest.raises(BadFrameError, match="count"):
+            decode_summary(corrupted)
+
+
+class TestSummaryOverWire:
+    def test_fetch_summary_matches_sink_evidence(self, workload):
+        _topology, _keystore, stream, delivering = workload
+        from repro.wire.server import SinkServer
+
+        async def scenario():
+            with make_service(workload) as service:
+                async with SinkServer(service, FMT) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        await client.send_batch(stream, delivering, FMT)
+                        summary = await client.fetch_summary()
+                    await server.wait_idle()
+                return summary, service.sink.evidence()
+
+        summary, local = asyncio.run(scenario())
+        assert summary == local
+        assert summary.packets_received == PACKETS
+
+    def test_fetch_summary_on_idle_sink_is_empty(self, workload):
+        from repro.wire.server import SinkServer
+
+        async def scenario():
+            with make_service(workload) as service:
+                async with SinkServer(service, FMT) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        return await client.fetch_summary()
+
+        summary = asyncio.run(scenario())
+        assert summary.packets_received == 0
+        assert summary.nodes == ()
+        assert summary.delivering_node is None
+
+
+class TestHealthCheck:
+    def test_echo_within_timeout(self, workload):
+        from repro.wire.server import SinkServer
+
+        async def scenario():
+            with make_service(workload) as service:
+                async with SinkServer(service, FMT) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        return await client.health_check(
+                            timeout=5.0, payload=b"alive?"
+                        )
+
+        assert asyncio.run(scenario()) == b"alive?"
+
+    def test_unresponsive_server_raises_typed_timeout(self):
+        async def scenario():
+            async def black_hole(reader, writer):
+                # Accept the connection, read forever, never reply.
+                try:
+                    while await reader.read(4096):
+                        pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(
+                black_hole, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with SinkClient("127.0.0.1", port) as client:
+                    with pytest.raises(PingTimeoutError, match="echo"):
+                        await client.health_check(timeout=0.05)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestWrongShard:
+    def test_foreign_batch_rejected_whole(self, workload):
+        _topology, _keystore, stream, delivering = workload
+        from repro.wire.server import SinkServer
+
+        async def scenario():
+            with make_service(workload) as service:
+                async with SinkServer(
+                    service, FMT, owns=lambda packet: False
+                ) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        with pytest.raises(WrongShardError):
+                            await client.send_batch(stream, delivering, FMT)
+                    await server.wait_idle()
+                    stats = server.stats()
+                service.flush()
+                return stats, service.sink.packets_received
+
+        stats, received = asyncio.run(scenario())
+        # The whole batch was refused before any packet was submitted, so
+        # a resend through the correct shard can never double-count.
+        assert received == 0
+        assert stats["batches_wrong_shard"] == 1
+        assert stats["batches_ok"] == 0
+
+    def test_owned_batch_accepted(self, workload):
+        _topology, _keystore, stream, delivering = workload
+        from repro.wire.server import SinkServer
+
+        async def scenario():
+            with make_service(workload) as service:
+                async with SinkServer(
+                    service, FMT, owns=lambda packet: True
+                ) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        await client.send_batch(stream, delivering, FMT)
+                    await server.wait_idle()
+                    stats = server.stats()
+                service.flush()
+                return stats, service.sink.packets_received
+
+        stats, received = asyncio.run(scenario())
+        assert received == PACKETS
+        assert stats["batches_wrong_shard"] == 0
