@@ -18,6 +18,16 @@ had acknowledged.  Merged verdicts stay byte-identical to a single sink
 fed the same stream, which is what ``tests/test_cluster`` pins under a
 kill-and-replace churn schedule.
 
+**Journal retention is O(total acknowledged traffic).**  Replay safety
+requires the journal to reference every packet a shard has acknowledged
+since the last compaction, so between compactions the journal grows with
+traffic volume and a shard death replays its whole retained history.
+Callers running long or unbounded streams should call
+:meth:`LocalCluster.checkpoint` whenever they have durably collected the
+cluster's evidence (e.g. after a :meth:`LocalCluster.collect` whose
+result they persist): it drops the retained journal, bounding both
+memory and worst-case replay to one checkpoint interval.
+
 **Churn schedules.**  Shard churn reuses :class:`repro.faults.FaultSchedule`
 verbatim: ``node`` is the shard ID and ``time`` is the batch index the
 event applies before.  Only ``crash`` and ``recover`` kinds make sense
@@ -234,6 +244,11 @@ class LocalCluster:
             self.journal.setdefault(reply.shard_id, []).append(
                 (list(reply.packets), delivering_node)
             )
+        if replies:
+            self.obs.set_gauge(
+                "cluster_journal_batches",
+                sum(len(self.journal[sid]) for sid in sorted(self.journal)),
+            )
 
     async def send(
         self, packets: list[MarkedPacket], delivering_node: int
@@ -242,6 +257,26 @@ class LocalCluster:
         replies = await self.router.send_batch(packets, delivering_node)
         self._journal_replies(replies, delivering_node)
         return replies
+
+    def checkpoint(self) -> int:
+        """Compact the replay journal: drop every retained sub-batch.
+
+        The journal exists so a dead shard's acknowledged-but-unmerged
+        packets can replay to survivors; it necessarily retains every
+        ack since the last compaction (see the module docstring).  Call
+        this *only after* durably collecting the cluster's evidence --
+        a shard that dies afterwards replays nothing from before the
+        checkpoint, so its pre-checkpoint contribution survives only in
+        whatever the caller persisted.
+
+        Returns:
+            The number of journaled sub-batches dropped.
+        """
+        dropped = sum(len(self.journal[sid]) for sid in sorted(self.journal))
+        self.journal.clear()
+        self.obs.inc("cluster_journal_checkpoints_total")
+        self.obs.set_gauge("cluster_journal_batches", 0)
+        return dropped
 
     async def run_schedule(
         self, batches: list[Batch], churn: FaultSchedule | None = None

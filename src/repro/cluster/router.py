@@ -5,13 +5,18 @@ batch by ring ownership, sends every sub-batch to its shard over the
 plain :class:`~repro.wire.client.SinkClient` protocol, and reacts to the
 three ways a shard can refuse:
 
-* **Backpressure** -- the shard's ingest queue shed the sub-batch; the
-  router honors the server's ``retry_after_ms`` hint (an injected delay,
-  never a wall-clock read -- RL006) a bounded number of times.
+* **Backpressure** -- the shard's queue refused the sub-batch whole
+  (all-or-nothing admission, so nothing was ingested); the router honors
+  the server's ``retry_after_ms`` hint (an injected delay, never a
+  wall-clock read -- RL006) a bounded number of times.
 * **Stale routing** -- the shard answered ``WRONG_SHARD``; the router
-  re-derives ownership from its *current* ring and resends.  The batch
-  itself was never partially ingested (servers reject before submitting
-  anything), so the resend cannot double-count.
+  re-derives ownership from its *current* ring and resends, a bounded
+  number of times per sub-batch.  The batch itself was never partially
+  ingested (servers reject before submitting anything), so the resend
+  cannot double-count; the bound turns a *persistent* ring/ownership
+  disagreement (a misconfigured deployment, a partitioned view) into a
+  raised :class:`~repro.wire.errors.WrongShardError` instead of a
+  livelock resending the same sub-batch forever.
 * **Shard death** -- a connection-level failure.  The router removes the
   shard from the ring, hands the event to the owner's ``on_shard_down``
   hook (the harness replays the dead shard's journal there), and
@@ -92,6 +97,11 @@ class ShardRouter:
         fmt: the deployment mark layout.
         max_backpressure_retries: per sub-batch send; exhausting them
             re-raises the last :class:`BackpressureError`.
+        max_wrong_shard_reroutes: ``WRONG_SHARD`` re-splits allowed per
+            sub-batch before the router gives up and re-raises the
+            :class:`WrongShardError` -- the router's ring and the shard's
+            ownership view disagree persistently, which retrying cannot
+            fix.  Failover re-splits do not count against this bound.
         on_shard_down: async hook awaited after a dead shard has been
             removed from the ring and its client closed; the cluster
             harness replays the shard's journal here.  Without a hook a
@@ -106,6 +116,7 @@ class ShardRouter:
         shard_key: Callable[[MarkedPacket], bytes],
         fmt: MarkFormat,
         max_backpressure_retries: int = 8,
+        max_wrong_shard_reroutes: int = 8,
         on_shard_down: Callable[[int], Awaitable[None]] | None = None,
         obs: ObsProvider | NoopObsProvider | None = None,
     ):
@@ -114,11 +125,17 @@ class ShardRouter:
                 "max_backpressure_retries must be >= 0, got "
                 f"{max_backpressure_retries}"
             )
+        if max_wrong_shard_reroutes < 0:
+            raise ValueError(
+                "max_wrong_shard_reroutes must be >= 0, got "
+                f"{max_wrong_shard_reroutes}"
+            )
         self.ring = ring
         self.clients = clients
         self.shard_key = shard_key
         self.fmt = fmt
         self.max_backpressure_retries = max_backpressure_retries
+        self.max_wrong_shard_reroutes = max_wrong_shard_reroutes
         self.on_shard_down = on_shard_down
         self.obs = resolve_provider(obs)
         self.batches_routed = 0
@@ -160,23 +177,40 @@ class ShardRouter:
             failover re-routed part of the batch).
         """
         replies: list[ShardReply] = []
-        pending = self.split(packets)
+        pending = [
+            (shard_id, sub_batch, 0)
+            for shard_id, sub_batch in self.split(packets)
+        ]
         while pending:
-            shard_id, sub_batch = pending.pop(0)
+            shard_id, sub_batch, reroutes = pending.pop(0)
             try:
                 verdict = await self._send_to_shard(
                     shard_id, sub_batch, delivering_node
                 )
             except WrongShardError:
                 # Our ring view went stale between split and send (a
-                # concurrent membership change); re-derive and resend.
+                # concurrent membership change); re-derive and resend --
+                # but only so many times.  A reroute that keeps landing
+                # on a refusing shard means the ring and the shard's
+                # ownership view disagree persistently, and resending
+                # would loop forever.
+                if reroutes >= self.max_wrong_shard_reroutes:
+                    raise
                 self.wrong_shard_reroutes += 1
                 self.obs.inc("cluster_wrong_shard_reroutes_total")
-                pending.extend(self.split(sub_batch))
+                pending.extend(
+                    (sid, sub, reroutes + 1)
+                    for sid, sub in self.split(sub_batch)
+                )
                 continue
             except _DOWN_ERRORS as exc:
                 await self.mark_down(shard_id, exc)
-                pending.extend(self.split(sub_batch))
+                # A failover re-split is not a ring disagreement; the
+                # reroute budget carries over unchanged.
+                pending.extend(
+                    (sid, sub, reroutes)
+                    for sid, sub in self.split(sub_batch)
+                )
                 continue
             replies.append(ShardReply(shard_id, sub_batch, verdict))
         self.batches_routed += 1
@@ -246,7 +280,12 @@ class ShardRouter:
         A shard is "up" when its PING echo returns within ``timeout``.
         Probing never mutates the ring -- callers decide what a failed
         probe means (the harness crashes the shard through the same
-        failover path a send error takes).
+        failover path a send error takes).  A timed-out probe leaves the
+        shard's client *disconnected* (:meth:`SinkClient.health_check`
+        closes it so a late echo cannot mis-pair with a later request);
+        a caller that deems the shard up-but-slow must reconnect it, and
+        a send through the closed client surfaces as a connection error
+        on the normal failover path.
         """
         health: dict[int, bool] = {}
         for shard_id in sorted(self.clients):

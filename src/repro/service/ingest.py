@@ -147,6 +147,47 @@ class SinkIngestService:
             )
         return accepted
 
+    def submit_batch(
+        self,
+        packets: list[MarkedPacket] | tuple[MarkedPacket, ...],
+        delivering_node: int,
+    ) -> bool:
+        """Offer a whole batch atomically: every packet queues, or none do.
+
+        The transactional form of :meth:`submit` for senders that retry
+        rejected batches wholesale (the wire server's BACKPRESSURE reply
+        triggers exactly that).  Per-packet submission would leave the
+        accepted prefix queued when the tail is shed, so the sender's
+        resend would ingest those packets twice; here a False return
+        guarantees the queue took nothing (see
+        :meth:`IngestQueue.offer_all`), making the retry safe.
+
+        Returns:
+            True if every packet was queued; False if backpressure shed
+            the whole batch.
+
+        Raises:
+            RuntimeError: if the service has been closed.
+        """
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed SinkIngestService")
+        accepted = self.queue.offer_all(
+            [(packet, delivering_node) for packet in packets]
+        )
+        self.obs.inc("ingest_submitted_total", len(packets))
+        if not accepted:
+            self.obs.inc("ingest_dropped_total", len(packets))
+        self.obs.set_gauge("ingest_queue_depth", self.queue.depth)
+        tracer = self.obs.tracer
+        if tracer is not None and accepted:
+            depth = self.queue.depth
+            for packet in packets:
+                key = report_key(packet.report)
+                self._open_queue_spans[key] = tracer.chain(
+                    key, "queue", depth=depth
+                )
+        return accepted
+
     # Processing --------------------------------------------------------------
 
     def process_batch(self, max_packets: int | None = None) -> int:

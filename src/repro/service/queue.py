@@ -84,6 +84,42 @@ class IngestQueue(Generic[T]):
             self.high_water = max(self.high_water, len(self._items))
             return True
 
+    def offer_all(self, items: list[T]) -> bool:
+        """Atomically enqueue every item of ``items``, or none of them.
+
+        The batch form of :meth:`offer` for senders that retry whole
+        batches: under ``DROP_NEWEST`` the batch is admitted only when
+        the queue has room for all of it -- a False return guarantees
+        nothing entered the queue, so a resend cannot double-count the
+        accepted prefix.  Under ``DROP_OLDEST`` admission never fails;
+        the head is evicted as needed, exactly as per-item offers would.
+
+        Returns:
+            True if every item entered the queue, False if the whole
+            batch was shed (``DROP_NEWEST`` only).
+
+        Raises:
+            RuntimeError: if the queue has been closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot offer to a closed IngestQueue")
+            self.offered += len(items)
+            if self.policy is DropPolicy.DROP_NEWEST:
+                if len(self._items) + len(items) > self.capacity:
+                    self.dropped_newest += len(items)
+                    return False
+                self._items.extend(items)
+            else:
+                for item in items:
+                    if len(self._items) >= self.capacity:
+                        self._items.popleft()
+                        self.dropped_oldest += 1
+                    self._items.append(item)
+            self.accepted += len(items)
+            self.high_water = max(self.high_water, len(self._items))
+            return True
+
     def take(self, max_items: int | None = None) -> list[T]:
         """Dequeue up to ``max_items`` items (all queued when ``None``)."""
         if max_items is not None and max_items < 0:

@@ -215,18 +215,27 @@ class SinkClient:
     ) -> bytes:
         """A :meth:`ping` with a deadline: the liveness probe form.
 
+        A timeout abandons the in-flight PING, but its echo may still
+        arrive later -- and this client is strict request-response, so a
+        late echo left in the stream would be read as the *next*
+        request's reply (a silent mis-pairing at worst, a
+        :class:`BadFrameError` at best).  The connection is therefore
+        closed before the timeout is raised; callers that decide the
+        peer is merely slow must :meth:`connect` again before reusing
+        this client.
+
         Returns:
             the echoed payload when the peer answered in time.
 
         Raises:
             PingTimeoutError: when no echo arrived within ``timeout``
-                seconds (the connection may still be half-open; callers
-                should treat the peer as down and :meth:`close`).
+                seconds.  The connection has been closed.
             RemoteError: when the peer answered with an ERROR frame.
         """
         try:
             return await asyncio.wait_for(self.ping(payload), timeout=timeout)
         except asyncio.TimeoutError:
+            await self.close()
             raise PingTimeoutError(
                 f"no PING echo from {self.host}:{self.port} within "
                 f"{timeout:g}s"

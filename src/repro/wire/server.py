@@ -9,10 +9,13 @@ the client encoded, so the server's verdicts are identical to feeding
 the same packets to the sink in-process (the loopback parity test pins
 this).
 
-Backpressure is the service's queue, surfaced on the wire: when a batch
-causes the queue to shed packets, the reply is an ERROR frame with code
+Backpressure is the service's queue, surfaced on the wire: when the
+queue cannot take a batch whole, the reply is an ERROR frame with code
 ``BACKPRESSURE`` and the server's retry-after hint instead of a verdict.
-Accepted packets stay queued and count toward the next verdict.
+Admission is all-or-nothing (:meth:`SinkIngestService.submit_batch`):
+a BACKPRESSURE reply guarantees *nothing* from the batch was ingested,
+so clients may safely resend the batch verbatim -- the same
+reject-before-submit contract ``WRONG_SHARD`` rejections follow.
 
 Verification runs inline in the event loop, one batch at a time.  That
 is deliberate: the service's own :class:`~repro.service.pool.VerificationPool`
@@ -309,17 +312,18 @@ class SinkServer:
                 )
                 return
         tracer = self.obs.tracer
-        shed = 0
-        for packet in batch.packets:
-            if tracer is not None:
+        if tracer is not None:
+            for packet in batch.packets:
                 tracer.event(
                     report_key(packet.report), "wire_rx", conn=conn_id
                 )
-            if not self.service.submit(packet, batch.delivering_node):
-                shed += 1
-        if shed:
+        # All-or-nothing admission: a BACKPRESSURE reply must guarantee
+        # the queue took nothing, because clients retry the whole batch
+        # verbatim -- any accepted prefix left queued here would be
+        # ingested a second time by the resend.
+        if not self.service.submit_batch(batch.packets, batch.delivering_node):
             self.batches_rejected += 1
-            self.packets_shed += shed
+            self.packets_shed += len(batch.packets)
             self.obs.inc("wire_batches_shed_total")
             await self._send_error(
                 writer,
@@ -327,7 +331,8 @@ class SinkServer:
                     code=ErrorCode.BACKPRESSURE,
                     retry_after_ms=self.retry_after_ms,
                     message=(
-                        f"queue shed {shed} of {len(batch.packets)} packets"
+                        f"queue shed all {len(batch.packets)} packets; "
+                        "retry the whole batch"
                     ),
                 ),
             )

@@ -17,7 +17,7 @@ from repro.marking.pnm import PNMMarking
 from repro.service import SinkIngestService
 from repro.traceback.sink import TracebackSink
 from repro.wire.client import SinkClient
-from repro.wire.errors import BackpressureError
+from repro.wire.errors import BackpressureError, WrongShardError
 from repro.wire.server import SinkServer
 
 GRID_SIDE = 10
@@ -91,10 +91,63 @@ class TestBackpressure:
                             await router.send_batch(packets, 1)
                     finally:
                         await client.close()
-                    return router.stats()
+                    service.flush()
+                    return router.stats(), sink.packets_received
 
-        stats = asyncio.run(scenario())
+        stats, received = asyncio.run(scenario())
         assert stats["backpressure_retries"] == 2
+        # Atomic admission: every rejected attempt ingested nothing, so
+        # the retries did not double-count an accepted prefix.
+        assert received == 0
+
+    def test_retry_after_drain_ingests_exactly_once(self, workload):
+        """The double-ingest regression the atomic admission fix closes.
+
+        One queue slot is pre-occupied so the first send is rejected;
+        the queue drains while the router sleeps on the retry hint, and
+        the retried batch must then count each packet exactly once.
+        Before the fix, the rejected first attempt left its accepted
+        prefix queued and the retry re-ingested it.
+        """
+        packets = all_packets(workload)
+
+        async def scenario():
+            sink = make_sink(workload)
+            with SinkIngestService(
+                sink, capacity=len(packets), workers=0
+            ) as service:
+                service.submit(packets[0], 1)  # occupy one slot
+                async with SinkServer(
+                    service, FMT, retry_after_ms=20
+                ) as server:
+                    client = SinkClient("127.0.0.1", server.port)
+                    await client.connect()
+                    router = ShardRouter(
+                        ShardRing([0]),
+                        {0: client},
+                        REGION_KEY,
+                        FMT,
+                        max_backpressure_retries=4,
+                    )
+
+                    async def drain_soon():
+                        await asyncio.sleep(0.005)
+                        service.flush()
+
+                    drainer = asyncio.ensure_future(drain_soon())
+                    try:
+                        replies = await router.send_batch(packets, 1)
+                    finally:
+                        await drainer
+                        await client.close()
+                    service.flush()
+                    return replies, router.stats(), sink.packets_received
+
+        replies, stats, received = asyncio.run(scenario())
+        assert stats["backpressure_retries"] >= 1
+        assert sum(len(r.packets) for r in replies) == len(packets)
+        # The pre-filled packet plus the batch, each exactly once.
+        assert received == len(packets) + 1
 
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError, match="max_backpressure_retries"):
@@ -182,6 +235,55 @@ class TestWrongShardReroute:
         assert got1 == len(packets)
         assert sum(len(r.packets) for r in replies) == len(packets)
 
+    def test_persistent_disagreement_raises_instead_of_livelocking(
+        self, workload
+    ):
+        """A bounded reroute budget turns a ring/ownership split-brain
+        into a typed error.
+
+        The shard's ``owns`` always refuses while the router's ring keeps
+        assigning it the same keys — the re-split lands on the same shard
+        every time, so without a cap ``send_batch`` would resend forever.
+        """
+        packets = all_packets(workload)
+
+        async def scenario():
+            sink = make_sink(workload)
+            with SinkIngestService(sink, capacity=64) as service:
+                async with SinkServer(
+                    service, FMT, owns=lambda packet: False
+                ) as server:
+                    client = SinkClient("127.0.0.1", server.port)
+                    await client.connect()
+                    router = ShardRouter(
+                        ShardRing([0]),
+                        {0: client},
+                        REGION_KEY,
+                        FMT,
+                        max_wrong_shard_reroutes=3,
+                    )
+                    try:
+                        with pytest.raises(WrongShardError):
+                            await router.send_batch(packets, 1)
+                    finally:
+                        await client.close()
+                service.flush()
+                return router.stats(), sink.packets_received
+
+        stats, received = asyncio.run(scenario())
+        assert stats["wrong_shard_reroutes"] == 3
+        assert received == 0  # WRONG_SHARD rejects before submitting
+
+    def test_negative_reroute_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_wrong_shard_reroutes"):
+            ShardRouter(
+                ShardRing([0]),
+                {},
+                REGION_KEY,
+                FMT,
+                max_wrong_shard_reroutes=-1,
+            )
+
 
 class TestFailover:
     def test_crash_discovered_on_send_and_journal_replayed(self, workload):
@@ -237,6 +339,57 @@ class TestFailover:
                     await cluster.send(chunk, delivering)
 
         asyncio.run(scenario())
+
+
+class TestCheckpoint:
+    def test_checkpoint_drops_journal_and_skips_replay(self, workload):
+        """After a checkpoint, a shard death replays nothing older.
+
+        The checkpoint contract: the caller has durably collected the
+        cluster's evidence, so the journal may be dropped — and a shard
+        that dies afterwards loses its pre-checkpoint contribution from
+        future merges (it lives only in what the caller persisted).
+        """
+        topology, keystore, batches, _sources = workload
+
+        async def scenario():
+            cluster = LocalCluster(
+                make_sink_factory(topology, keystore),
+                FMT,
+                shard_ids=[0, 1],
+                shard_key=REGION_KEY,
+            )
+            async with cluster:
+                for chunk, delivering in batches:
+                    await cluster.send(chunk, delivering)
+                victim = max(
+                    cluster.journal, key=lambda sid: len(cluster.journal[sid])
+                )
+                victim_acked = sum(
+                    len(chunk) for chunk, _ in cluster.journal[victim]
+                )
+                dropped = cluster.checkpoint()
+                remaining = sum(
+                    len(entries) for entries in cluster.journal.values()
+                )
+                await cluster.crash_shard(victim)
+                summaries = await cluster.collect()
+                stats = cluster.stats()
+            return dropped, remaining, victim_acked, summaries, stats
+
+        dropped, remaining, victim_acked, summaries, stats = asyncio.run(
+            scenario()
+        )
+        assert dropped > 0
+        assert remaining == 0
+        assert victim_acked > 0
+        # Nothing replays: the journal was compacted away.
+        assert stats["replayed_batches"] == 0
+        # The survivors hold exactly the packets the victim never acked.
+        assert (
+            sum(s.packets_received for s in summaries.values())
+            == PACKETS - victim_acked
+        )
 
 
 class TestProbe:

@@ -82,6 +82,55 @@ class TestDropOldest:
         assert queue.depth == 4
 
 
+class TestOfferAll:
+    def test_drop_newest_is_all_or_nothing(self):
+        queue = IngestQueue(capacity=4, policy=DropPolicy.DROP_NEWEST)
+        assert queue.offer_all([0, 1, 2])
+        # Room for one more item, but not for the whole batch: nothing
+        # from the batch may enter, or a retrying sender double-counts
+        # the accepted prefix.
+        assert not queue.offer_all([3, 4])
+        assert queue.take() == [0, 1, 2]
+        assert queue.offer_all([3, 4])
+        assert queue.take() == [3, 4]
+
+    def test_drop_newest_rejection_counts_whole_batch(self):
+        queue = IngestQueue(capacity=2, policy=DropPolicy.DROP_NEWEST)
+        queue.offer(0)
+        assert not queue.offer_all([1, 2, 3])
+        assert queue.offered == 4
+        assert queue.accepted == 1
+        assert queue.dropped_newest == 3
+        assert queue.depth == 1
+
+    def test_drop_oldest_always_admits_evicting_heads(self):
+        queue = IngestQueue(capacity=3, policy=DropPolicy.DROP_OLDEST)
+        queue.offer(0)
+        queue.offer(1)
+        assert queue.offer_all([2, 3, 4])
+        assert queue.take() == [2, 3, 4]
+        assert queue.dropped_oldest == 2
+        assert queue.accepted == 5
+
+    def test_empty_batch_is_a_noop(self):
+        queue = IngestQueue(capacity=1)
+        assert queue.offer_all([])
+        assert queue.depth == 0
+        assert queue.offered == 0
+
+    def test_closed_queue_raises(self):
+        queue = IngestQueue(capacity=4)
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.offer_all([1])
+
+    def test_high_water_updates(self):
+        queue = IngestQueue(capacity=10)
+        queue.offer_all(list(range(6)))
+        queue.take()
+        assert queue.high_water == 6
+
+
 class TestLifecycle:
     def test_close_rejects_offers_but_allows_take(self):
         queue = IngestQueue(capacity=4)

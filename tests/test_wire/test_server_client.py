@@ -139,6 +139,55 @@ class TestBackpressure:
         assert stats["packets_shed"] > 0
         assert stats["batches_rejected"] == 1
 
+    def test_rejected_batch_ingests_nothing(self, workload):
+        """BACKPRESSURE is a guarantee, not a hint: zero packets entered.
+
+        Per-packet admission would leave the accepted prefix queued, and
+        a client retrying the whole batch (the router does exactly that)
+        would ingest those packets twice — inflating packets_received and
+        breaking cluster/single-sink verdict equivalence.
+        """
+        _topology, _keystore, stream, delivering = workload
+
+        async def scenario():
+            with make_service(workload, capacity=2) as service:
+                async with SinkServer(service, FMT) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        with pytest.raises(BackpressureError):
+                            await client.send_batch(stream, delivering, FMT)
+                    await server.wait_idle()
+                depth = service.queue.depth
+                service.flush()
+                return depth, service.sink.packets_received
+
+        depth, received = asyncio.run(scenario())
+        assert depth == 0
+        assert received == 0
+
+    def test_verbatim_resend_after_drain_counts_once(self, workload):
+        """The retry contract end to end: reject, drain, resend, no dupes."""
+        _topology, _keystore, stream, delivering = workload
+
+        async def scenario():
+            with make_service(workload, capacity=len(stream)) as service:
+                # Occupy one queue slot so the full batch cannot fit.
+                service.submit(stream[0], delivering)
+                async with SinkServer(service, FMT) as server:
+                    async with SinkClient("127.0.0.1", server.port) as client:
+                        with pytest.raises(BackpressureError):
+                            await client.send_batch(stream, delivering, FMT)
+                        service.flush()  # queue drains between retries
+                        verdict = await client.send_batch(
+                            stream, delivering, FMT
+                        )
+                    await server.wait_idle()
+                return verdict, service.sink.packets_received
+
+        verdict, received = asyncio.run(scenario())
+        # The pre-filled packet plus the batch, each exactly once.
+        assert received == PACKETS + 1
+        assert verdict.packets_used == PACKETS + 1
+
 
 class TestRejections:
     def test_mark_format_mismatch_is_one_clean_error(self, workload):

@@ -182,11 +182,66 @@ class TestHealthCheck:
                 async with SinkClient("127.0.0.1", port) as client:
                     with pytest.raises(PingTimeoutError, match="echo"):
                         await client.health_check(timeout=0.05)
+                    # The in-flight PING was abandoned; its echo could
+                    # still arrive and would be misread as the reply to
+                    # the next request, so the timeout closed the
+                    # connection.
+                    return client.connected
             finally:
                 server.close()
                 await server.wait_closed()
 
-        asyncio.run(scenario())
+        assert asyncio.run(scenario()) is False
+
+    def test_late_echo_cannot_mispair_after_reconnect(self):
+        """A slow (not dead) peer's stale echo never pollutes the stream.
+
+        The first PING's echo arrives well after the health-check
+        deadline. Because the timeout closed the connection, the late
+        echo dies with the old socket; after reconnecting, the next ping
+        gets *its own* echo back, not the stale one.
+        """
+        from repro.wire.frames import FrameDecoder, FrameType, encode_frame
+
+        async def scenario():
+            first = {"pending": True}
+
+            async def laggy_echo(reader, writer):
+                decoder = FrameDecoder()
+                try:
+                    while True:
+                        chunk = await reader.read(4096)
+                        if not chunk:
+                            return
+                        for frame in decoder.feed(chunk):
+                            if first["pending"]:
+                                first["pending"] = False
+                                await asyncio.sleep(0.3)
+                            writer.write(
+                                encode_frame(FrameType.PING, frame.payload)
+                            )
+                            await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(laggy_echo, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                client = SinkClient("127.0.0.1", port)
+                await client.connect()
+                with pytest.raises(PingTimeoutError):
+                    await client.health_check(timeout=0.05, payload=b"stale")
+                await client.connect()  # caller deems the peer merely slow
+                echo = await client.health_check(timeout=5.0, payload=b"fresh")
+                await client.close()
+                return echo
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(scenario()) == b"fresh"
 
 
 class TestWrongShard:
