@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench experiments experiments-full faults obs serve-smoke cluster-smoke examples clean
+.PHONY: install test lint bench experiments experiments-full faults watchdog obs serve-smoke cluster-smoke examples clean
 
 install:
 	pip install -e .
@@ -26,6 +26,11 @@ experiments-full:
 # Traceback under churn: crashes, repairs, false accusations (docs/faults.md).
 faults:
 	python -m repro.experiments.cli faults-sweep --preset quick
+
+# Watchdog overhearing + sink-side fusion: detection latency vs. PNM-only,
+# lying-watchdog and collusion scenarios (docs/watchdog.md).
+watchdog:
+	python -m repro.experiments.cli watchdog-sweep --preset quick
 
 # Observed runs: manifests + metrics + spans, then the text report
 # (docs/observability.md).

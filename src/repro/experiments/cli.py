@@ -31,6 +31,7 @@ from repro.experiments import (
     security_matrix,
     service_sweep,
     sink_cost,
+    watchdog_sweep,
     wire_sweep,
 )
 from repro.experiments.presets import Preset, preset_by_name
@@ -49,6 +50,7 @@ _SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
     "wire-sweep": wire_sweep.run,
     "cluster-sweep": cluster_sweep.run,
     "faults-sweep": faults_sweep.run,
+    "watchdog-sweep": watchdog_sweep.run,
     "approaches": approaches.run,
     "overhead": overhead_table.run,
     "filtering-interplay": filtering_interplay.run,

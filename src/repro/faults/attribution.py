@@ -35,13 +35,16 @@ from repro.faults.injector import FaultInjector
 from repro.net.topology import Topology
 from repro.sim.tracing import PacketTracer
 from repro.traceback.sink import TracebackSink, TracebackVerdict
+from repro.watchdog.fusion import WatchdogSinkLog, tamper_corroboration_zone
 
 __all__ = [
     "DropAttribution",
     "AccusationReport",
+    "FusedAccusationReport",
     "attribute_drops",
     "accusation_report",
     "build_accusation_report",
+    "fused_accusation_report",
 ]
 
 #: Default half-width (virtual seconds) of the window around a fault
@@ -118,6 +121,47 @@ class AccusationReport:
     false_accusations: tuple[int, ...]
     false_accusation_rate: float
     tamper_evidence: bool
+
+
+@dataclass(frozen=True)
+class FusedAccusationReport:
+    """An :class:`AccusationReport` extended with watchdog evidence.
+
+    The first five attributes mirror :class:`AccusationReport` exactly;
+    :attr:`accused` is the fused set.  Watchdog accusations are claims,
+    not proof (a lying watchdog fabricates them freely), so a claim is
+    **confirmed** only against a node PNM evidence independently
+    suspects -- inside the tamper corroboration zone
+    (:func:`repro.watchdog.fusion.tamper_corroboration_zone`) or at an
+    unexplained drop site.  Everything else is **rejected**.  In any
+    honest deployment both corroboration sources are structurally empty
+    (benign faults forge no MACs and every drop is fault-explained), so
+    no fabrication can ever raise the false-accusation rate above the
+    PNM-only report's -- the invariant
+    ``tests/test_properties/test_watchdog_fusion.py`` pins.
+
+    Attributes:
+        accused: fused accused set (PNM accusations plus confirmed
+            watchdog claims), sorted ascending.
+        honest: honest (non-mole) sensor IDs, sorted ascending.
+        false_accusations: accused honest nodes, sorted ascending.
+        false_accusation_rate: ``|false| / |honest|``.
+        tamper_evidence: whether any accusation came from invalid MACs.
+        watchdog_claimed: every distinct node a delivered accusation
+            named, sorted ascending.
+        watchdog_confirmed: the corroborated subset that joined
+            :attr:`accused`.
+        watchdog_rejected: the discarded remainder.
+    """
+
+    accused: tuple[int, ...]
+    honest: tuple[int, ...]
+    false_accusations: tuple[int, ...]
+    false_accusation_rate: float
+    tamper_evidence: bool
+    watchdog_claimed: tuple[int, ...]
+    watchdog_confirmed: tuple[int, ...]
+    watchdog_rejected: tuple[int, ...]
 
 
 def attribute_drops(
@@ -236,4 +280,55 @@ def build_accusation_report(
         false_accusations=tuple(false),
         false_accusation_rate=rate,
         tamper_evidence=tamper,
+    )
+
+
+def fused_accusation_report(
+    sink: TracebackSink,
+    attribution: DropAttribution,
+    watchdog_log: WatchdogSinkLog | None,
+    moles: frozenset[int] | set[int] = frozenset(),
+) -> FusedAccusationReport:
+    """Fuse watchdog accusations into the PNM accusation report.
+
+    Watchdog evidence can only *accelerate* conviction of nodes PNM
+    independently suspects, never convict on its own: a delivered
+    accusation is confirmed when its target sits inside the tamper
+    corroboration zone (one hop around any observed tamper stop) or at a
+    suspicious (unexplained-excess) drop site, and is rejected otherwise.
+    With ``watchdog_log`` ``None`` or empty the fused report carries
+    exactly the PNM-only accusations -- the disabled-watchdog parity the
+    property suite pins byte-for-byte.
+
+    Args:
+        sink: the run's traceback sink.
+        attribution: the drop classification from :func:`attribute_drops`.
+        watchdog_log: the watchdog layer's delivered-accusation log, or
+            ``None`` when the layer is disabled.
+        moles: ground-truth mole IDs; every other sensor is honest.
+    """
+    base = accusation_report(sink, attribution, moles=moles)
+    claimed = (
+        tuple(watchdog_log.accused_nodes()) if watchdog_log is not None else ()
+    )
+    if claimed:
+        zone = tamper_corroboration_zone(sink.evidence(), sink.topology)
+        zone.update(attribution.suspicious_drops)
+        confirmed = tuple(node for node in claimed if node in zone)
+    else:
+        confirmed = ()
+    rejected = tuple(node for node in claimed if node not in set(confirmed))
+    accused = sorted(set(base.accused) | set(confirmed))
+    honest_set = set(base.honest)
+    false = tuple(node for node in accused if node in honest_set)
+    rate = len(false) / len(base.honest) if base.honest else 0.0
+    return FusedAccusationReport(
+        accused=tuple(accused),
+        honest=base.honest,
+        false_accusations=false,
+        false_accusation_rate=rate,
+        tamper_evidence=base.tamper_evidence,
+        watchdog_claimed=claimed,
+        watchdog_confirmed=confirmed,
+        watchdog_rejected=rejected,
     )

@@ -51,6 +51,7 @@ _RL002_SCOPE = (
     "repro/obs/",
     "repro/wire/",
     "repro/cluster/",
+    "repro/watchdog/",
 )
 
 

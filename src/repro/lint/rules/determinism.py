@@ -33,6 +33,7 @@ _RL004_SCOPE = (
     "repro/obs/",
     "repro/wire/",
     "repro/cluster/",
+    "repro/watchdog/",
 )
 
 _RL006_SCOPE = (
@@ -54,6 +55,11 @@ _RL006_SCOPE = (
     # connection errors and retry hints, never to elapsed wall time, so
     # churn tests replay identically.  Timing lives in experiments/benches.
     "repro/cluster/",
+    # The watchdog layer lives entirely in virtual time: overhear draws,
+    # pending-frame expiry, and accusation relay all take ``now`` from the
+    # simulator, and its gated overhead benchmark depends on the data
+    # plane being bit-identical run to run.
+    "repro/watchdog/",
 )
 
 _WALL_CLOCK_CALLS = {

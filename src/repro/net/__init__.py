@@ -9,6 +9,7 @@ discrete-event simulator.
 """
 
 from repro.net.links import LinkModel, LinkTable
+from repro.net.overhear import OverhearModel
 from repro.net.topology import (
     Topology,
     grid_topology,
@@ -25,4 +26,5 @@ __all__ = [
     "poisson_disk_topology",
     "LinkModel",
     "LinkTable",
+    "OverhearModel",
 ]

@@ -91,6 +91,10 @@ class LinkTable:
         self._overrides: dict[tuple[int, int], LinkModel] = (
             dict(overrides) if overrides else {}
         )
+        #: Monotone edit counter.  Consumers that cache anything derived
+        #: from this table (e.g. :class:`repro.net.overhear.OverhearModel`)
+        #: compare it to detect override churn instead of subscribing.
+        self.version = 0
 
     def model_for(self, from_node: int, to_node: int) -> LinkModel:
         """The model governing a transmission from ``from_node`` to ``to_node``."""
@@ -103,10 +107,14 @@ class LinkTable:
         if from_node == to_node:
             raise ValueError(f"self-loop override on node {from_node}")
         self._overrides[(from_node, to_node)] = model
+        self.version += 1
 
     def clear_override(self, from_node: int, to_node: int) -> bool:
         """Remove one directed edge's override; returns whether it existed."""
-        return self._overrides.pop((from_node, to_node), None) is not None
+        existed = self._overrides.pop((from_node, to_node), None) is not None
+        if existed:
+            self.version += 1
+        return existed
 
     def overridden_edges(self) -> list[tuple[int, int]]:
         """Directed edges carrying an override, in sorted order."""

@@ -1,0 +1,122 @@
+"""Radio overhearing: what a watcher hears of its neighbors' traffic.
+
+Sensor radios are broadcast media: when ``u`` transmits to its next hop
+``v``, every other radio neighbor ``w`` of ``u`` receives the same frame
+with some probability.  The Algebraic Watchdog line of work
+(arXiv:1011.3879, arXiv:1007.2088) builds in-network misbehavior
+detection on exactly this promiscuous channel; :mod:`repro.watchdog`
+consumes this model.
+
+The overhear probability is *derived* from the deployment's
+:class:`~repro.net.links.LinkTable` rather than being a free parameter:
+a watcher hears a neighbor's transmission through the same radio channel
+packets travel on, attenuated by a fixed promiscuous-mode ``gain``
+(overhearing lacks retransmissions and link-layer acks, so it is never
+better than the directed link).  Degrading the ``(sender, watcher)``
+edge -- as the fault injector does -- therefore attenuates what the
+watcher sees, with no extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.links import LinkTable
+from repro.net.topology import Topology
+
+__all__ = ["OverhearModel"]
+
+
+class OverhearModel:
+    """Per-(sender, watcher) overhear probabilities from topology + links.
+
+    Args:
+        topology: the deployment graph; only radio neighbors of a sender
+            can overhear it.
+        links: the deployment's link table.  The overhear probability for
+            watcher ``w`` of sender ``u`` is ``gain * (1 - loss_prob)``
+            of the directed edge ``(u, w)``, so per-edge degradations
+            (:mod:`repro.faults`) attenuate overhearing too.
+        gain: promiscuous-mode attenuation factor in ``[0, 1]``; a frame
+            overheard without acks or retries is at best as reliable as
+            the directed link carrying it.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        links: LinkTable | None = None,
+        gain: float = 0.9,
+    ):
+        if not 0.0 <= gain <= 1.0:
+            raise ValueError(f"gain must be in [0, 1], got {gain}")
+        self.topology = topology
+        self.links = links if links is not None else LinkTable()
+        self.gain = gain
+        # Topology is static for a deployment's lifetime, and this is on
+        # the per-transmission hot path -- cache the sorted watcher lists
+        # and the per-edge probabilities.  The probability cache is keyed
+        # to the link table's edit counter so fault-injected overrides
+        # (set_override / clear_override) invalidate it immediately.
+        self._watchers: dict[int, list[int]] = {}
+        self._neighbor_sets: dict[int, frozenset[int]] = {}
+        self._probs: dict[tuple[int, int], float] = {}
+        self._probs_version = self.links.version
+
+    def neighbor_set(self, node: int) -> frozenset[int]:
+        """Cached radio neighborhood of ``node`` for membership tests.
+
+        :meth:`Topology.neighbors` copies its adjacency set on every
+        call; watchers test membership once per transmission, so the
+        layer wants a stable frozen view instead.
+        """
+        cached = self._neighbor_sets.get(node)
+        if cached is None:
+            cached = frozenset(self.topology.neighbors(node))
+            self._neighbor_sets[node] = cached
+        return cached
+
+    def watchers_of(self, sender: int) -> list[int]:
+        """Radio neighbors that can overhear ``sender``, sorted ascending.
+
+        The sink never participates as a watcher: it already sees every
+        delivered packet first-hand and fuses accusations instead
+        (:mod:`repro.faults.attribution`).
+        """
+        watchers = self._watchers.get(sender)
+        if watchers is None:
+            watchers = sorted(
+                node
+                for node in self.topology.neighbors(sender)
+                if node != self.topology.sink
+            )
+            self._watchers[sender] = watchers
+        return watchers
+
+    def overhear_prob(self, sender: int, watcher: int) -> float:
+        """Probability that ``watcher`` hears one transmission by ``sender``."""
+        if self.links.version != self._probs_version:
+            self._probs.clear()
+            self._probs_version = self.links.version
+        edge = (sender, watcher)
+        prob = self._probs.get(edge)
+        if prob is None:
+            if watcher == sender or watcher not in self.topology.neighbors(sender):
+                prob = 0.0
+            else:
+                model = self.links.model_for(sender, watcher)
+                prob = self.gain * (1.0 - model.loss_prob)
+            self._probs[edge] = prob
+        return prob
+
+    def overhears(self, sender: int, watcher: int, rng: random.Random) -> bool:
+        """Draw whether one transmission by ``sender`` reaches ``watcher``."""
+        prob = self.overhear_prob(sender, watcher)
+        if prob >= 1.0:
+            return True
+        if prob <= 0.0:
+            return False
+        return rng.random() < prob
+
+    def __repr__(self) -> str:
+        return f"OverhearModel(gain={self.gain}, links={self.links!r})"

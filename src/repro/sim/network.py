@@ -72,6 +72,13 @@ class NetworkSimulation:
             its registry once the event queue drains; per-packet spans
             come through the ``tracer``'s span bridge
             (:class:`~repro.sim.tracing.PacketTracer`).
+        watchdog: optional overhearing layer
+            (:class:`repro.watchdog.WatchdogLayer`).  When set, every
+            radio transmission is offered to it for overhearing, and
+            :meth:`run` finalizes it (expiring pending observations and
+            draining accusation relays) after the data traffic drains.
+            The layer draws from its own RNG, so enabling it never
+            perturbs the data-plane trajectory.
     """
 
     def __init__(
@@ -88,6 +95,7 @@ class NetworkSimulation:
         ingest: object | None = None,
         repair: RepairPolicy | None = None,
         obs: ObsProvider | NoopObsProvider | None = None,
+        watchdog: object | None = None,
     ):
         self.topology = topology
         self.routing = routing
@@ -104,6 +112,15 @@ class NetworkSimulation:
         self.ingest = ingest
         self.obs = resolve_provider(obs)
         self.repair_policy = repair if repair is not None else RepairPolicy()
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.attach(self)
+        # Direct reference to the layer's (attach-specialized) tap: the
+        # transmit path calls it once per radio frame, so skip the
+        # two-step attribute chain there.
+        self._watchdog_tap = (
+            watchdog.on_transmission if watchdog is not None else None
+        )
         self.sim = Simulator()
         self.delivered: list[MarkedPacket] = []
         self._quarantined: set[int] = set()
@@ -249,6 +266,11 @@ class NetworkSimulation:
             return
         self.metrics.record_transmission(from_node, packet.wire_len)
         self._notify_transmission(from_node, packet.wire_len)
+        tap = self._watchdog_tap
+        if tap is not None:
+            # The frame is on the air: neighbors may overhear it whether
+            # or not the directed link delivers it.
+            tap(self.sim.now, from_node, next_hop, packet)
         model = self.links.model_for(from_node, next_hop)
         if not model.is_delivered(self.rng):
             self.metrics.record_loss()
@@ -274,6 +296,9 @@ class NetworkSimulation:
             # back); retry after backoff in case the hop recovers.
             self.metrics.record_transmission(from_node, packet.wire_len)
             self._notify_transmission(from_node, packet.wire_len)
+            tap = self._watchdog_tap
+            if tap is not None:
+                tap(self.sim.now, from_node, next_hop, packet)
             self.sim.schedule(
                 self.repair_policy.backoff_delay(attempt),
                 lambda: self._transmit(
@@ -347,6 +372,11 @@ class NetworkSimulation:
         every delivered packet has reached the sink.
         """
         self.sim.run(until=until, max_events=max_events)
+        if self.watchdog is not None:
+            # Expiring pending observations may emit final accusations
+            # whose relays need one more drain of the event queue.
+            self.watchdog.finalize(self.sim.now)
+            self.sim.run(max_events=max_events)
         if self.ingest is not None:
             flush = getattr(self.ingest, "flush", None)
             if flush is not None:

@@ -28,8 +28,21 @@ __all__ = ["TraceEvent", "PacketTracer"]
 #: Event kinds emitted by the simulator.  ``fault`` marks a packet that
 #: died to an injected failure (dead node, no surviving route) rather
 #: than to filtering or mole activity; ``repair`` marks the packet whose
-#: retries triggered a route repair at that node.
-EVENT_KINDS = ("inject", "forward", "drop", "loss", "deliver", "fault", "repair")
+#: retries triggered a route repair at that node.  ``overhear`` and
+#: ``flag`` come from the watchdog layer (:mod:`repro.watchdog`): a
+#: watcher heard a neighbor's transmission, and a watcher caught an
+#: inconsistent forwarding, respectively.
+EVENT_KINDS = (
+    "inject",
+    "forward",
+    "drop",
+    "loss",
+    "deliver",
+    "fault",
+    "repair",
+    "overhear",
+    "flag",
+)
 
 
 @dataclass(frozen=True)

@@ -82,7 +82,10 @@ class SinkEvidence:
         tamper_stops: ``(stop_node, count)`` pairs from tampered packets,
             sorted by node.
         packets_received / tampered_packets / chains_with_marks /
-        fallback_searches: the sink's additive counters.
+        fallback_searches: the sink's additive counters
+        (``chains_with_marks`` counts packets that arrived *clean* --
+        verified chain, no invalid MAC -- so the verdict's mass
+        comparison weighs route evidence against tamper evidence).
         delivering_node: the localization fallback neighbor (the last
             delivering node for a live sink; a deterministic choice when
             merged -- see :func:`repro.cluster.merge_evidence`).
@@ -131,7 +134,8 @@ def compute_verdict(
     from packets whose MACs failed verification.
 
     The two evidence streams are weighed by mass: when more packets
-    arrived *tampered* than contributed any verified chain, the route
+    arrived *tampered* than arrived clean with a verified chain
+    (``chains_with_marks`` counts only untampered packets), the route
     picture is too sparse to trust (a mole invalidating nearly every
     mark can leave one lucky lone marker looking like a unique most
     upstream node), so the tamper stopping nodes -- each guaranteed
@@ -282,7 +286,15 @@ class TracebackSink:
                 delivering_node=delivering_node,
                 tampered=bool(verification.invalid_indices),
             )
-        if verification.chain_ids:
+        if verification.chain_ids and not verification.invalid_indices:
+            # Count only *clean* chains toward the route-evidence mass.  A
+            # tampered packet usually still carries a verified downstream
+            # suffix; counting it here would let ``chains_with_marks``
+            # saturate together with ``tampered_packets`` and the verdict's
+            # mass comparison would never prefer the tamper stops -- the
+            # exact failure mode of the reorder attack at high mark rates,
+            # where the only clean chains are lucky lone markers far from
+            # the mole (pinned in tests/test_traceback/test_sink_localize.py).
             self.chains_with_marks += 1
         if verification.invalid_indices:
             self.obs.inc("sink_tampered_packets_total")

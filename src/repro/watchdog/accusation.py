@@ -1,0 +1,63 @@
+"""Local accusations: what a watcher tells the sink about a neighbor.
+
+An accusation is deliberately tiny -- watcher, accused, the evidence
+score that crossed the threshold and its breakdown -- because it travels
+hop-by-hop over the same slow radios as data packets
+(:class:`~repro.watchdog.layer.WatchdogLayer` relays it through the
+routing tree with real link-loss draws and transmission delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LocalAccusation", "DeliveredAccusation", "ACCUSATION_WIRE_LEN"]
+
+#: Bytes on the wire per accusation message: two node IDs, a quantized
+#: score, and the observation/flag counters.  Small by design -- the
+#: watchdog's control traffic must not dominate the data traffic whose
+#: integrity it guards.
+ACCUSATION_WIRE_LEN = 12
+
+
+@dataclass(frozen=True)
+class LocalAccusation:
+    """One watcher's claim that a neighbor misbehaves.
+
+    Attributes:
+        watcher: the accusing node.
+        accused: the neighbor it accuses.
+        score: the accumulated log-likelihood score at emission time.
+        observations: overheard forwardings checked for this neighbor.
+        flagged: checks that came back inconsistent (tamper-grade).
+        missing: forwardings the watcher waited for but never overheard.
+        emitted_at: virtual time the accusation left the watcher.
+    """
+
+    watcher: int
+    accused: int
+    score: float
+    observations: int
+    flagged: int
+    missing: int
+    emitted_at: float
+
+
+@dataclass(frozen=True)
+class DeliveredAccusation:
+    """An accusation that survived the relay to the sink.
+
+    Attributes:
+        accusation: the original local accusation.
+        delivered_at: virtual time it reached the sink.
+        hops: relay hops it traversed.
+    """
+
+    accusation: LocalAccusation
+    delivered_at: float
+    hops: int
+
+    @property
+    def latency(self) -> float:
+        """Virtual seconds between emission and delivery."""
+        return self.delivered_at - self.accusation.emitted_at

@@ -1,0 +1,323 @@
+"""Per-watcher consistency checking and likelihood accumulation.
+
+A watcher pairs two overheard radio frames for each packet a watched
+neighbor handles: the frame *delivered to* the neighbor (what it should
+forward) and the frame the neighbor *transmits onward* (what it actually
+forwarded).  Frames pair by report digest -- the content identity that
+survives marking (:func:`repro.obs.spans.report_key`) -- and the pair is
+**consistent** exactly when honest forwarding explains it: the report is
+unchanged and the outbound mark list extends the inbound one by at most
+one appended mark (probabilistic schemes legitimately skip marking; no
+honest behavior removes, reorders, or rewrites existing marks).  The
+check is pure structural comparison of overheard bytes: no new crypto,
+and in particular the watcher never needs other nodes' keys.
+
+Evidence accumulates per watched neighbor as a log-likelihood-ratio
+style score (arXiv:1011.3879 derives the increments from channel
+statistics; here they are explicit configuration).  Inconsistent
+forwardings add a large positive increment, overheard-but-consistent
+ones decay the score slightly, and forwardings the watcher waited for
+but never overheard add a small positive increment -- small because a
+missed overhear is also explained by the watcher's own lossy
+promiscuous channel.  Crossing :attr:`WatchdogConfig.threshold` emits a
+:class:`~repro.watchdog.accusation.LocalAccusation` (once per accused
+neighbor per watcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.spans import report_key
+from repro.packets.packet import MarkedPacket
+from repro.watchdog.accusation import LocalAccusation
+
+__all__ = ["WatchdogConfig", "NeighborScore", "WatchdogMonitor"]
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Tunable semantics of the watchdog's likelihood accumulator.
+
+    Attributes:
+        threshold: score at which a watcher accuses a neighbor.  With the
+            defaults, two flagged forwardings convict; missed overhears
+            alone need eight -- deliberately slower, because they are
+            also explained by the watcher's own lossy channel.
+        flag_llr: score increment for an inconsistent forwarding
+            (tamper-grade evidence: honest forwarding never explains it).
+        consistent_llr: (negative) increment for a consistent forwarding;
+            bounded below by ``score_floor`` so long good behavior cannot
+            bank unlimited credit against future misbehavior.
+        missing_llr: increment when a pending inbound expires without an
+            overheard matching outbound (dropping or suppression).
+        score_floor: lower bound on any neighbor's score.
+        pending_timeout: virtual seconds a watcher remembers an inbound
+            frame while waiting for the matching outbound.
+        max_pending: per-neighbor cap on remembered inbound frames; the
+            oldest is evicted (and scored as missing) beyond it.
+    """
+
+    threshold: float = 4.0
+    flag_llr: float = 2.0
+    consistent_llr: float = -0.1
+    missing_llr: float = 0.5
+    score_floor: float = -2.0
+    pending_timeout: float = 5.0
+    max_pending: int = 64
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {self.threshold}")
+        if self.flag_llr <= 0:
+            raise ValueError(f"flag_llr must be > 0, got {self.flag_llr}")
+        if self.missing_llr < 0:
+            raise ValueError(f"missing_llr must be >= 0, got {self.missing_llr}")
+        if self.consistent_llr > 0:
+            raise ValueError(
+                f"consistent_llr must be <= 0, got {self.consistent_llr}"
+            )
+        if self.pending_timeout <= 0:
+            raise ValueError(
+                f"pending_timeout must be > 0, got {self.pending_timeout}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+
+
+@dataclass(slots=True)
+class NeighborScore:
+    """Running evidence one watcher holds against one neighbor.
+
+    Attributes:
+        score: accumulated log-likelihood score.
+        observations: overheard forwardings checked (consistent + flagged).
+        flagged: inconsistent forwardings observed.
+        missing: expected forwardings never overheard.
+        accused: whether an accusation was already emitted.
+    """
+
+    score: float = 0.0
+    observations: int = 0
+    flagged: int = 0
+    missing: int = 0
+    accused: bool = False
+
+
+# A pending inbound frame awaiting its outbound counterpart is a bare
+# ``(marks, recorded_at, report)`` tuple: one is built per transmission,
+# so the hot path gets tuple-packing instead of a dataclass __init__.
+# The report rides along to *pin* it alive: the layer's bound hot path
+# keys queues by ``id(report)`` (cheaper than digest keys and immune to
+# per-process hash randomization), which is sound only while the entry
+# holds a reference -- a live object's id cannot be recycled.
+_Pending = tuple[tuple, float, object]
+
+
+class WatchdogMonitor:
+    """One node's view of every neighbor it watches.
+
+    A plain ``__slots__`` class rather than a dataclass: monitor state is
+    touched several times per overheard transmission, and slot access
+    stays off the instance-dict path.
+
+    Args:
+        watcher_id: the node running this monitor.
+        config: accumulator semantics shared across the deployment.
+    """
+
+    __slots__ = (
+        "watcher_id",
+        "config",
+        "scores",
+        "_pending",
+        "maybe_due",
+        "_threshold",
+        "_flag_llr",
+        "_consistent_llr",
+        "_missing_llr",
+        "_score_floor",
+        "_timeout",
+        "_max_pending",
+    )
+
+    def __init__(
+        self, watcher_id: int, config: WatchdogConfig | None = None
+    ) -> None:
+        self.watcher_id = watcher_id
+        self.config = config if config is not None else WatchdogConfig()
+        self.scores: dict[int, NeighborScore] = {}
+        # watched -> frame identity -> pending inbound (insertion-ordered,
+        # so eviction drops the oldest).  The identity is the report
+        # digest on the method path, the pinned ``id(report)`` on the
+        # layer's bound hot path; a queue only ever sees one keying.
+        self._pending: dict[int, dict[bytes | int, _Pending]] = {}
+        # Set whenever a score update crosses the accusation threshold;
+        # lets the hot path skip :meth:`accusations_due` entirely.
+        self.maybe_due = False
+        # Hot-path copies of the (frozen) config scalars: a plain slot is
+        # one load, the dataclass attribute chain is two per access, and
+        # record_* run once per overhear.
+        config = self.config
+        self._threshold = config.threshold
+        self._flag_llr = config.flag_llr
+        self._consistent_llr = config.consistent_llr
+        self._missing_llr = config.missing_llr
+        self._score_floor = config.score_floor
+        self._timeout = config.pending_timeout
+        self._max_pending = config.max_pending
+
+    def __repr__(self) -> str:
+        return (
+            f"WatchdogMonitor(watcher_id={self.watcher_id}, "
+            f"watched={len(self.scores)})"
+        )
+
+    def score_for(self, watched: int) -> NeighborScore:
+        """The (live) evidence record for ``watched``."""
+        return self.scores.setdefault(watched, NeighborScore())
+
+    def pending_count(self, watched: int) -> int:
+        """Inbound frames still awaiting ``watched``'s forwarding."""
+        return len(self._pending.get(watched, {}))
+
+    def record_inbound(
+        self,
+        now: float,
+        watched: int,
+        packet: MarkedPacket,
+        key: bytes | int | None = None,
+    ) -> None:
+        """Note a frame delivered to ``watched`` (it should forward this).
+
+        Called both when the watcher overhears a transmission addressed
+        to ``watched`` and when the watcher *is* the transmitter (a
+        sender knows with certainty what it handed to its next hop).
+        ``key`` is the frame's identity under whichever keying the
+        caller uses consistently: the report digest by default, or the
+        pinned ``id(report)`` the layer's bound hot path prefers.
+        Callers that fan one frame out to several monitors pass it to
+        avoid re-deriving per watcher.
+        """
+        queue = self._pending.get(watched)
+        if queue is None:
+            queue = self._pending[watched] = {}
+        elif queue:
+            # Inline head-staleness probe: entries are in virtual-time
+            # order, so one lookup decides whether the sweep is needed.
+            if queue[next(iter(queue))][1] <= now - self._timeout:
+                self._expire_queue(now, watched, queue)
+            if len(queue) >= self._max_pending:
+                del queue[next(iter(queue))]
+                self._score_missing(watched)
+        queue[key if key is not None else report_key(packet.report)] = (
+            packet.marks,
+            now,
+            packet.report,
+        )
+
+    def record_outbound(
+        self,
+        now: float,
+        watched: int,
+        packet: MarkedPacket,
+        key: bytes | int | None = None,
+    ) -> bool | None:
+        """Check an overheard forwarding by ``watched``; score it.
+
+        ``key`` is the frame's precomputed identity (see
+        :meth:`record_inbound`).
+
+        Returns:
+            ``True`` for a consistent forwarding, ``False`` for a flagged
+            (inconsistent) one, ``None`` when the frame matches no pending
+            inbound (the watcher missed the inbound, or the report itself
+            was rewritten en route -- either way there is nothing sound to
+            compare against, so no score moves).
+        """
+        queue = self._pending.get(watched)
+        if not queue:
+            return None
+        if queue[next(iter(queue))][1] <= now - self._timeout:
+            self._expire_queue(now, watched, queue)
+        pending = queue.pop(
+            key if key is not None else report_key(packet.report), None
+        )
+        if pending is None:
+            return None
+        entry = self.scores.get(watched)
+        if entry is None:
+            entry = self.scores[watched] = NeighborScore()
+        entry.observations += 1
+        inbound_marks = pending[0]
+        inbound_len = len(inbound_marks)
+        appended = len(packet.marks) - inbound_len
+        consistent = (
+            appended in (0, 1)
+            and packet.marks[:inbound_len] == inbound_marks
+        )
+        if consistent:
+            entry.score = max(
+                self._score_floor, entry.score + self._consistent_llr
+            )
+            return True
+        entry.flagged += 1
+        entry.score += self._flag_llr
+        if entry.score >= self._threshold and not entry.accused:
+            self.maybe_due = True
+        return False
+
+    def expire_all(self, now: float) -> None:
+        """Expire every timed-out pending frame (end-of-run flush)."""
+        for watched in sorted(self._pending):
+            self._expire(now, watched)
+
+    def accusations_due(self, now: float) -> list[LocalAccusation]:
+        """Neighbors whose score crossed the threshold, not yet accused."""
+        self.maybe_due = False
+        due = []
+        for watched in sorted(self.scores):
+            entry = self.scores[watched]
+            if entry.accused or entry.score < self.config.threshold:
+                continue
+            entry.accused = True
+            due.append(
+                LocalAccusation(
+                    watcher=self.watcher_id,
+                    accused=watched,
+                    score=entry.score,
+                    observations=entry.observations,
+                    flagged=entry.flagged,
+                    missing=entry.missing,
+                    emitted_at=now,
+                )
+            )
+        return due
+
+    def _expire(self, now: float, watched: int) -> None:
+        queue = self._pending.get(watched)
+        if queue:
+            self._expire_queue(now, watched, queue)
+
+    def _expire_queue(
+        self, now: float, watched: int, queue: dict[bytes | int, _Pending]
+    ) -> None:
+        cutoff = now - self._timeout
+        # Entries are inserted in virtual-time order, so the stale prefix
+        # is contiguous: pop from the front until one is young enough.
+        # O(expired) amortized instead of a full scan per record call.
+        while queue:
+            key = next(iter(queue))
+            if queue[key][1] > cutoff:
+                break
+            del queue[key]
+            self._score_missing(watched)
+
+    def _score_missing(self, watched: int) -> None:
+        entry = self.score_for(watched)
+        entry.missing += 1
+        entry.score = max(
+            self._score_floor, entry.score + self._missing_llr
+        )
+        if entry.score >= self._threshold and not entry.accused:
+            self.maybe_due = True

@@ -1,0 +1,94 @@
+"""Tests for the overhearing model derived from topology + links."""
+
+import random
+
+import pytest
+
+from repro.net.links import LinkModel, LinkTable
+from repro.net.overhear import OverhearModel
+from repro.net.topology import linear_path_topology
+
+
+@pytest.fixture
+def chain():
+    topology, _source = linear_path_topology(5)
+    return topology
+
+
+class TestConstruction:
+    def test_gain_out_of_range_rejected(self, chain):
+        with pytest.raises(ValueError, match="gain"):
+            OverhearModel(chain, gain=1.5)
+        with pytest.raises(ValueError, match="gain"):
+            OverhearModel(chain, gain=-0.1)
+
+    def test_default_link_table(self, chain):
+        model = OverhearModel(chain)
+        assert isinstance(model.links, LinkTable)
+
+
+class TestWatchers:
+    def test_watchers_are_sorted_radio_neighbors(self, chain):
+        model = OverhearModel(chain)
+        watchers = model.watchers_of(3)
+        assert watchers == sorted(watchers)
+        assert set(watchers) <= set(chain.neighbors(3))
+
+    def test_sink_never_watches(self, chain):
+        model = OverhearModel(chain)
+        for node in chain.sensor_nodes():
+            assert chain.sink not in model.watchers_of(node)
+
+    def test_neighbor_set_is_stable_frozen_view(self, chain):
+        model = OverhearModel(chain)
+        first = model.neighbor_set(3)
+        assert isinstance(first, frozenset)
+        assert first == frozenset(chain.neighbors(3))
+        assert model.neighbor_set(3) is first
+
+
+class TestProbabilities:
+    def test_derived_from_link_loss_and_gain(self, chain):
+        links = LinkTable(default=LinkModel(loss_prob=0.2))
+        model = OverhearModel(chain, links=links, gain=0.9)
+        assert model.overhear_prob(3, 2) == pytest.approx(0.9 * 0.8)
+
+    def test_non_neighbors_and_self_never_overhear(self, chain):
+        model = OverhearModel(chain)
+        assert model.overhear_prob(1, 1) == 0.0
+        far = next(
+            node
+            for node in chain.sensor_nodes()
+            if node not in chain.neighbors(1) and node != 1
+        )
+        assert model.overhear_prob(1, far) == 0.0
+
+    def test_override_invalidates_cached_prob(self, chain):
+        links = LinkTable(default=LinkModel(loss_prob=0.0))
+        model = OverhearModel(chain, links=links, gain=1.0)
+        assert model.overhear_prob(3, 2) == pytest.approx(1.0)
+        links.set_override(3, 2, LinkModel(loss_prob=0.5))
+        assert model.overhear_prob(3, 2) == pytest.approx(0.5)
+        links.clear_override(3, 2)
+        assert model.overhear_prob(3, 2) == pytest.approx(1.0)
+
+
+class TestDraws:
+    def test_certain_and_impossible_skip_the_rng(self, chain):
+        links = LinkTable(default=LinkModel(loss_prob=0.0))
+        model = OverhearModel(chain, links=links, gain=1.0)
+
+        class ExplodingRandom(random.Random):
+            def random(self):
+                raise AssertionError("draw consumed for a certain outcome")
+
+        rng = ExplodingRandom()
+        assert model.overhears(3, 2, rng) is True
+        assert model.overhears(1, 1, rng) is False
+
+    def test_probabilistic_draw_matches_probability(self, chain):
+        links = LinkTable(default=LinkModel(loss_prob=0.5))
+        model = OverhearModel(chain, links=links, gain=1.0)
+        rng = random.Random(11)
+        hits = sum(model.overhears(3, 2, rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.5, abs=0.05)

@@ -181,6 +181,39 @@ class TestEvidenceWeighing:
         assert verdict.suspect.members & built.mole_ids
         assert built.sink.tampered_packets > built.sink.chains_with_marks
 
+    def test_reorder_with_valid_suffixes_does_not_frame(self):
+        """Pinned: n=9, p=0.74, reorder mole at 6, seed=1446 (ROADMAP flake).
+
+        Reordered packets still carry a *verified* downstream suffix, so a
+        sink that counted them toward ``chains_with_marks`` saturated both
+        sides of the mass comparison (78 tampered vs. 78 "chains") and
+        trusted a route picture built from two lucky lone-marker packets,
+        framing {2, 3, 4}.  Clean-chain counting makes the tamper stops
+        (which converge one hop downstream of the mole) decide instead.
+        """
+        from repro.core.build import build_scenario
+        from repro.core.scenario import Scenario
+
+        sc = Scenario(
+            n_forwarders=9,
+            scheme="pnm",
+            mark_prob=0.74,
+            attack="reorder",
+            mole_position=6,
+            seed=1446,
+        )
+        built = build_scenario(sc)
+        built.pipeline.push_many(80)
+        verdict = built.sink.verdict()
+        assert verdict.identified
+        assert verdict.suspect.members & built.mole_ids, (
+            f"framed {sorted(verdict.suspect.members)}, "
+            f"moles {sorted(built.mole_ids)}"
+        )
+        # The counters the fix hinges on: nearly every packet is tampered,
+        # only the untouched ones count as route evidence.
+        assert built.sink.tampered_packets > built.sink.chains_with_marks
+
     def test_route_evidence_still_wins_when_dominant(
         self, topo12, keystore, provider
     ):

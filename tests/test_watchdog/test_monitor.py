@@ -1,0 +1,180 @@
+"""Unit tests for the per-watcher consistency monitor."""
+
+import pytest
+
+from repro.packets.marks import Mark
+from repro.packets.packet import MarkedPacket
+from repro.packets.report import Report
+from repro.watchdog.accusation import LocalAccusation
+from repro.watchdog.monitor import WatchdogConfig, WatchdogMonitor
+
+
+def packet(marks: int = 0, event: bytes = b"evt") -> MarkedPacket:
+    report = Report(event=event, location=(1.0, 2.0), timestamp=7)
+    return MarkedPacket(
+        report=report,
+        marks=tuple(
+            Mark(id_field=bytes([i, i]), mac=bytes(4)) for i in range(marks)
+        ),
+    )
+
+
+def forwarded(inbound: MarkedPacket, append: int = 0) -> MarkedPacket:
+    """The honest forwarding of ``inbound``: same report, marks extended."""
+    extra = tuple(
+        Mark(id_field=bytes([0xEE, i]), mac=bytes(4)) for i in range(append)
+    )
+    return MarkedPacket(report=inbound.report, marks=inbound.marks + extra)
+
+
+def tampered(inbound: MarkedPacket) -> MarkedPacket:
+    """A forwarding whose existing marks were rewritten."""
+    first = inbound.marks[0]
+    bad = Mark(id_field=first.id_field, mac=b"\xff" * len(first.mac))
+    return MarkedPacket(report=inbound.report, marks=(bad,) + inbound.marks[1:])
+
+
+class TestWatchdogConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"flag_llr": 0.0},
+            {"missing_llr": -0.1},
+            {"consistent_llr": 0.1},
+            {"pending_timeout": 0.0},
+            {"max_pending": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        config = WatchdogConfig()
+        assert config.threshold > 0
+        assert config.consistent_llr <= 0
+
+
+class TestRecordOutbound:
+    def test_consistent_forwarding_decays_score(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        inbound = packet(marks=2)
+        monitor.record_inbound(0.0, watched=2, packet=inbound)
+        outcome = monitor.record_outbound(0.1, watched=2, packet=forwarded(inbound))
+        assert outcome is True
+        entry = monitor.score_for(2)
+        assert entry.observations == 1
+        assert entry.flagged == 0
+        assert entry.score == pytest.approx(monitor.config.consistent_llr)
+
+    def test_one_appended_mark_is_consistent(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        inbound = packet(marks=1)
+        monitor.record_inbound(0.0, watched=2, packet=inbound)
+        assert (
+            monitor.record_outbound(0.1, 2, forwarded(inbound, append=1)) is True
+        )
+
+    def test_two_appended_marks_flagged(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        inbound = packet(marks=1)
+        monitor.record_inbound(0.0, watched=2, packet=inbound)
+        assert (
+            monitor.record_outbound(0.1, 2, forwarded(inbound, append=2)) is False
+        )
+        assert monitor.score_for(2).flagged == 1
+
+    def test_rewritten_mark_flagged(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        inbound = packet(marks=2)
+        monitor.record_inbound(0.0, watched=2, packet=inbound)
+        outcome = monitor.record_outbound(0.1, watched=2, packet=tampered(inbound))
+        assert outcome is False
+        entry = monitor.score_for(2)
+        assert entry.flagged == 1
+        assert entry.score == pytest.approx(monitor.config.flag_llr)
+
+    def test_removed_mark_flagged(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        inbound = packet(marks=2)
+        monitor.record_inbound(0.0, watched=2, packet=inbound)
+        stripped = MarkedPacket(report=inbound.report, marks=inbound.marks[:1])
+        assert monitor.record_outbound(0.1, 2, stripped) is False
+
+    def test_unmatched_outbound_scores_nothing(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        assert monitor.record_outbound(0.1, 2, packet(marks=1)) is None
+        monitor.record_inbound(0.0, watched=2, packet=packet(event=b"a"))
+        assert monitor.record_outbound(0.1, 2, packet(event=b"b")) is None
+        assert monitor.scores.get(2) is None or monitor.scores[2].observations == 0
+
+    def test_score_floor_bounds_good_behavior_credit(self):
+        config = WatchdogConfig(consistent_llr=-1.0, score_floor=-2.0)
+        monitor = WatchdogMonitor(watcher_id=1, config=config)
+        for index in range(5):
+            inbound = packet(marks=1, event=b"e%d" % index)
+            monitor.record_inbound(float(index), 2, inbound)
+            monitor.record_outbound(float(index) + 0.01, 2, forwarded(inbound))
+        assert monitor.score_for(2).score == pytest.approx(-2.0)
+
+
+class TestExpiryAndEviction:
+    def test_expired_pending_scores_missing(self):
+        config = WatchdogConfig(pending_timeout=1.0)
+        monitor = WatchdogMonitor(watcher_id=1, config=config)
+        monitor.record_inbound(0.0, 2, packet(event=b"old"))
+        # A fresh inbound far past the timeout sweeps the stale head.
+        monitor.record_inbound(5.0, 2, packet(event=b"new"))
+        entry = monitor.score_for(2)
+        assert entry.missing == 1
+        assert entry.score == pytest.approx(config.missing_llr)
+        assert monitor.pending_count(2) == 1
+
+    def test_cap_evicts_oldest_as_missing(self):
+        config = WatchdogConfig(max_pending=2)
+        monitor = WatchdogMonitor(watcher_id=1, config=config)
+        for index in range(3):
+            monitor.record_inbound(float(index) * 0.1, 2, packet(event=b"e%d" % index))
+        assert monitor.pending_count(2) == 2
+        assert monitor.score_for(2).missing == 1
+
+    def test_expire_all_flushes_every_queue(self):
+        config = WatchdogConfig(pending_timeout=1.0)
+        monitor = WatchdogMonitor(watcher_id=1, config=config)
+        monitor.record_inbound(0.0, 2, packet(event=b"a"))
+        monitor.record_inbound(0.0, 3, packet(event=b"b"))
+        monitor.expire_all(10.0)
+        assert monitor.pending_count(2) == 0
+        assert monitor.pending_count(3) == 0
+        assert monitor.score_for(2).missing == 1
+        assert monitor.score_for(3).missing == 1
+
+
+class TestAccusations:
+    def test_threshold_crossing_accuses_once(self):
+        config = WatchdogConfig(threshold=4.0, flag_llr=2.0)
+        monitor = WatchdogMonitor(watcher_id=1, config=config)
+        for index in range(3):
+            inbound = packet(marks=1, event=b"e%d" % index)
+            monitor.record_inbound(float(index), 2, inbound)
+            monitor.record_outbound(float(index) + 0.01, 2, tampered(inbound))
+        assert monitor.maybe_due
+        due = monitor.accusations_due(3.0)
+        assert len(due) == 1
+        accusation = due[0]
+        assert isinstance(accusation, LocalAccusation)
+        assert accusation.watcher == 1
+        assert accusation.accused == 2
+        assert accusation.score >= config.threshold
+        assert accusation.flagged == 3
+        # Already-accused neighbors are not re-emitted.
+        assert monitor.accusations_due(4.0) == []
+        assert not monitor.maybe_due
+
+    def test_below_threshold_emits_nothing(self):
+        monitor = WatchdogMonitor(watcher_id=1)
+        inbound = packet(marks=1)
+        monitor.record_inbound(0.0, 2, inbound)
+        monitor.record_outbound(0.1, 2, tampered(inbound))
+        assert monitor.accusations_due(1.0) == []
