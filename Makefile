@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench experiments experiments-full faults watchdog obs serve-smoke cluster-smoke examples clean
+.PHONY: install test lint bench bench-check experiments experiments-full faults watchdog obs serve-smoke cluster-smoke telemetry-smoke examples clean
 
 install:
 	pip install -e .
@@ -14,6 +14,11 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Gate the recorded benchmark ratios against benchmarks/baseline.json
+# (>20% drift fails).  Needs the BENCH_*.json files a bench run leaves.
+bench-check:
+	python benchmarks/check_regressions.py
 
 # Regenerate every paper figure + extension at the default (quick) preset.
 experiments:
@@ -48,6 +53,12 @@ serve-smoke:
 # report byte-identical to a single sink (docs/cluster.md).
 cluster-smoke:
 	python -m repro.cluster smoke
+
+# Telemetry federation check: 2-shard cluster with per-shard registries;
+# the federated snapshot must cover every shard and the verdict must be
+# byte-identical to a telemetry-disabled run (docs/observability.md).
+telemetry-smoke:
+	python -m repro.cluster telemetry-smoke
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,110 @@
+"""Gate fresh benchmark results against the committed baseline.
+
+``make bench`` leaves one ``BENCH_<group>.json`` per recorded group in
+the repo root (see ``benchmarks/conftest.py``).  This checker compares
+the dimensionless ratios in those files against
+``benchmarks/baseline.json`` and fails when any metric regressed more
+than :data:`THRESHOLD` (20%) in its bad direction -- slower speedup,
+higher overhead.  Wall-clock seconds are deliberately *not* baselined:
+they vary by machine, while the paired ratios the gates compute are
+self-normalizing.
+
+Baseline format (``benchmarks/baseline.json``)::
+
+    {"cluster/4_shards_vs_1": {"metric": "speedup",
+                               "value": 3.1,
+                               "direction": "higher"}}
+
+``direction`` is which way is *good*: ``"higher"`` flags
+``current < value * (1 - THRESHOLD)``, ``"lower"`` flags
+``current > value * (1 + THRESHOLD)``.
+
+Run as ``make bench-check`` (or ``python benchmarks/check_regressions.py``)
+after a benchmark pass.  A missing ``BENCH_<group>.json`` is an error:
+the gate cannot vouch for numbers that were never produced.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Allowed relative drift before a metric counts as regressed.
+THRESHOLD = 0.20
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+def check(
+    baseline: dict[str, dict], root: pathlib.Path = _ROOT
+) -> tuple[list[str], list[str]]:
+    """Compare every baseline entry; returns ``(report_lines, failures)``."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for key in sorted(baseline):
+        spec = baseline[key]
+        group, name = key.split("/", 1)
+        metric = spec["metric"]
+        base = float(spec["value"])
+        direction = spec.get("direction", "higher")
+        bench_path = root / f"BENCH_{group}.json"
+        if not bench_path.exists():
+            failures.append(
+                f"{key}: {bench_path.name} not found -- run 'make bench' "
+                "before 'make bench-check'"
+            )
+            continue
+        results = json.loads(bench_path.read_text(encoding="utf-8"))
+        entry = results.get(name)
+        if entry is None or metric not in entry:
+            failures.append(
+                f"{key}: no {metric!r} recorded in {bench_path.name}"
+            )
+            continue
+        current = float(entry[metric])
+        if direction == "higher":
+            limit = base * (1.0 - THRESHOLD)
+            regressed = current < limit
+        elif direction == "lower":
+            limit = base * (1.0 + THRESHOLD)
+            regressed = current > limit
+        else:
+            failures.append(f"{key}: unknown direction {direction!r}")
+            continue
+        verdict = "REGRESSED" if regressed else "ok"
+        line = (
+            f"{key} {metric}={current:.4g} baseline={base:.4g} "
+            f"limit={limit:.4g} ({direction} is better) [{verdict}]"
+        )
+        lines.append(line)
+        if regressed:
+            failures.append(line)
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    baseline = json.loads(_BASELINE.read_text(encoding="utf-8"))
+    lines, failures = check(baseline)
+    for line in lines:
+        print(line)
+    if failures:
+        print(
+            f"bench-check: {len(failures)} problem(s) "
+            f"(>{THRESHOLD:.0%} drift or missing results):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench-check: {len(lines)} metric(s) within "
+        f"{THRESHOLD:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

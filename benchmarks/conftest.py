@@ -9,7 +9,10 @@ Gate tests additionally publish their measured numbers through the
 ``bench_record`` fixture; at session end every recorded group is written
 to ``BENCH_<group>.json`` in the repo root, so CI can archive throughput
 ratios without scraping pytest output.  The files are git-ignored
-artifacts, regenerated per run.
+artifacts, regenerated per run.  Each session also *appends* one line
+per group to ``BENCH_history.jsonl`` (git-ignored), stamped with the
+current git SHA -- the longitudinal record ``benchmarks/
+check_regressions.py`` compares against ``benchmarks/baseline.json``.
 """
 
 import json
@@ -44,8 +47,22 @@ def bench_record():
 
 def pytest_sessionfinish(session, exitstatus):
     root = pathlib.Path(__file__).resolve().parent.parent
-    for group in sorted(_RECORDS):
-        path = root / f"BENCH_{group}.json"
-        path.write_text(
-            json.dumps(_RECORDS[group], indent=2, sort_keys=True) + "\n"
-        )
+    if not _RECORDS:
+        return
+    from repro.obs.manifest import git_revision
+
+    sha = git_revision(cwd=str(root))
+    history = root / "BENCH_history.jsonl"
+    with history.open("a", encoding="utf-8") as fh:
+        for group in sorted(_RECORDS):
+            path = root / f"BENCH_{group}.json"
+            path.write_text(
+                json.dumps(_RECORDS[group], indent=2, sort_keys=True) + "\n"
+            )
+            fh.write(
+                json.dumps(
+                    {"git": sha, "group": group, "results": _RECORDS[group]},
+                    sort_keys=True,
+                )
+                + "\n"
+            )

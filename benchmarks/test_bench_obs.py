@@ -6,6 +6,12 @@ under the no-op provider and under a fully live provider (registry +
 tracer + timers) and asserts the instrumented wall time stays within 15%
 of the no-op baseline.  Best-of-N with alternating order so scheduler
 noise hits both variants equally.
+
+The attached-telemetry gate goes one step further: the live provider is
+additionally *polled* like a cluster shard (a full registry snapshot per
+pass, federated under its shard label -- the exact read path a TELEMETRY
+frame triggers), and the total must still stay within the same 15%
+envelope.  Its numbers land in ``BENCH_obs.json`` via ``bench_record``.
 """
 
 import time
@@ -15,7 +21,7 @@ import pytest
 from repro.crypto.mac import HmacProvider
 from repro.experiments.service_sweep import build_workload
 from repro.marking.pnm import PNMMarking
-from repro.obs import NOOP, ObsProvider, Tracer
+from repro.obs import NOOP, ObsProvider, Tracer, federate_snapshots
 from repro.traceback.sink import TracebackSink
 
 GRID_SIDE = 16
@@ -63,6 +69,48 @@ class TestOverheadGate:
             f"instrumentation overhead {ratio:.3f}x exceeds "
             f"{MAX_OVERHEAD}x (noop {min(noop_times):.4f}s, "
             f"live {min(live_times):.4f}s)"
+        )
+
+    def test_attached_telemetry_within_15_percent_of_noop(
+        self, workload, bench_record
+    ):
+        """The cluster-shard read path: live provider + TELEMETRY poll."""
+
+        def run_attached(workload) -> float:
+            provider = ObsProvider(tracer=Tracer(id_prefix="sh0-"))
+            elapsed = run_sink(workload, provider)
+            # The poll a TELEMETRY frame triggers: full snapshot, then
+            # federation under the shard label (the coordinator's side).
+            start = time.perf_counter()
+            federated = federate_snapshots({0: provider.registry.snapshot()})
+            elapsed += time.perf_counter() - start
+            assert len(federated) > 0
+            return elapsed
+
+        run_sink(workload, NOOP)  # warm caches before timing anything
+        noop_times = []
+        attached_times = []
+        for round_index in range(ROUNDS):
+            if round_index % 2 == 0:
+                noop_times.append(run_sink(workload, NOOP))
+                attached_times.append(run_attached(workload))
+            else:
+                attached_times.append(run_attached(workload))
+                noop_times.append(run_sink(workload, NOOP))
+        ratio = min(attached_times) / min(noop_times)
+        bench_record(
+            "obs",
+            "telemetry_attached",
+            packets=PACKETS,
+            noop_s=min(noop_times),
+            attached_s=min(attached_times),
+            ratio=round(ratio, 4),
+            max_overhead=MAX_OVERHEAD,
+        )
+        assert ratio <= MAX_OVERHEAD, (
+            f"attached-telemetry overhead {ratio:.3f}x exceeds "
+            f"{MAX_OVERHEAD}x (noop {min(noop_times):.4f}s, "
+            f"attached {min(attached_times):.4f}s)"
         )
 
     def test_live_provider_actually_recorded(self, workload):

@@ -34,6 +34,7 @@ from repro.cluster.coordinator import (
 )
 from repro.cluster.harness import (
     ClusterResult,
+    JournalEntry,
     LocalCluster,
     ShardHandle,
     drive_cluster,
@@ -60,6 +61,7 @@ __all__ = [
     "verdict_json",
     "report_json",
     "ShardHandle",
+    "JournalEntry",
     "LocalCluster",
     "ClusterResult",
     "drive_cluster",

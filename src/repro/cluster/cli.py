@@ -4,6 +4,8 @@ Examples::
 
     pnm-cluster serve --shards 4 --port 7450 --grid-side 16
     pnm-cluster smoke                  # 2-shard loopback vs single sink
+    pnm-cluster status --port 7450 --shards 4
+    pnm-cluster telemetry-smoke        # federation covers every shard
 
 ``serve`` builds one PNM deployment (grid topology, keys derived from
 ``--master-secret``) and serves ``--shards`` sink shards on consecutive
@@ -13,13 +15,19 @@ process: it drives the same interleaved multi-source stream through a
 2-shard loopback cluster and through a plain in-process
 :class:`~repro.traceback.sink.TracebackSink`, and exits 0 iff the merged
 verdict and accusation report are byte-identical to the single sink's
-(canonical JSON).
+(canonical JSON).  ``status`` polls a live cluster's TELEMETRY frames,
+federates the snapshots and prints the paper-metric SLO view
+(docs/observability.md); ``telemetry-smoke`` runs a 2-shard loopback
+cluster with per-shard registries and exits 0 iff the federated snapshot
+carries every shard label *and* the verdict is byte-identical to a
+telemetry-disabled run.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 
 from repro.cluster.coordinator import (
@@ -34,8 +42,17 @@ from repro.crypto.mac import HmacProvider
 from repro.faults.attribution import DropAttribution, build_accusation_report
 from repro.marking.pnm import PNMMarking
 from repro.net.topology import grid_topology
+from repro.obs.profiling import ObsProvider
+from repro.obs.telemetry import (
+    SHARD_LABEL,
+    compute_cluster_slo,
+    federate_snapshots,
+    format_status,
+)
 from repro.service.ingest import SinkIngestService
 from repro.traceback.sink import TracebackSink
+from repro.wire.client import SinkClient
+from repro.wire.errors import WireError
 from repro.wire.server import SinkServer
 
 __all__ = ["main"]
@@ -76,6 +93,34 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--grid-side", type=int, default=10)
     smoke.add_argument("--packets", type=int, default=32)
     smoke.add_argument("--shards", type=int, default=2)
+
+    status = sub.add_parser(
+        "status",
+        help="poll a live cluster's TELEMETRY frames; print the SLO view",
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument(
+        "--port", type=int, default=7450, help="first shard's port"
+    )
+    status.add_argument("--shards", type=int, default=2)
+    status.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the SLO payload as canonical JSON",
+    )
+
+    tsmoke = sub.add_parser(
+        "telemetry-smoke",
+        help=(
+            "2-shard loopback with per-shard registries; exit 0 iff the "
+            "federated snapshot covers every shard AND the verdict is "
+            "byte-identical to a telemetry-disabled run"
+        ),
+    )
+    tsmoke.add_argument("--grid-side", type=int, default=10)
+    tsmoke.add_argument("--packets", type=int, default=32)
+    tsmoke.add_argument("--shards", type=int, default=2)
     return parser
 
 
@@ -95,9 +140,17 @@ async def _serve(args: argparse.Namespace) -> int:
     services: list[SinkIngestService] = []
     try:
         for shard_id in range(args.shards):
-            sink = TracebackSink(scheme, keystore, HmacProvider(), topology)
+            # Each shard reports into its own registry so a TELEMETRY
+            # poll (``pnm-cluster status``) sees per-shard health.
+            provider = ObsProvider()
+            sink = TracebackSink(
+                scheme, keystore, HmacProvider(), topology, obs=provider
+            )
             service = SinkIngestService(
-                sink, capacity=args.capacity, workers=args.workers
+                sink,
+                capacity=args.capacity,
+                workers=args.workers,
+                obs=provider,
             )
 
             def owns(packet, sid=shard_id):
@@ -195,11 +248,136 @@ def _smoke(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+async def _status(args: argparse.Namespace) -> int:
+    """Poll every shard's TELEMETRY frame; federate and print the SLOs.
+
+    Exit 0 only when every expected shard answered -- a partial view is
+    still printed (the reachable shards' rows), but flagged non-zero so
+    monitoring catches the hole.
+    """
+    snapshots: dict[int, dict] = {}
+    health: dict[int, bool] = {}
+    for shard_id in range(args.shards):
+        client = SinkClient(args.host, args.port + shard_id)
+        try:
+            await client.connect()
+            await client.health_check()
+            snapshots[shard_id] = await client.fetch_telemetry()
+            health[shard_id] = True
+        except (WireError, ConnectionError, OSError) as exc:
+            health[shard_id] = False
+            print(
+                f"pnm-cluster: shard {shard_id} "
+                f"({args.host}:{args.port + shard_id}) unreachable: {exc}",
+                file=sys.stderr,
+            )
+        finally:
+            await client.close()
+    if not snapshots:
+        print("pnm-cluster: no shards reachable", file=sys.stderr)
+        return 1
+    federated = federate_snapshots(snapshots)
+    slo = compute_cluster_slo(federated)
+    if args.as_json:
+        payload = slo.as_dict()
+        payload["shards_up"] = {
+            str(shard_id): up for shard_id, up in sorted(health.items())
+        }
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    else:
+        print(format_status(slo))
+        down = sorted(sid for sid, up in health.items() if not up)
+        if down:
+            print(f"  unreachable shards: {down}")
+    return 0 if all(health.values()) else 1
+
+
+def _telemetry_smoke(args: argparse.Namespace) -> int:
+    """Observation-only proof: federation covers every shard, verdict parity.
+
+    Runs the same schedule twice through identical loopback clusters --
+    once bare, once with a per-shard ``ObsProvider`` (own registry, own
+    tracer with a shard-unique span-id prefix) -- then checks that (a)
+    the federated snapshot carries every shard's label and (b) the
+    observed run's merged verdict is byte-identical to the bare run's.
+    """
+    from repro.experiments.cluster_sweep import (
+        build_cluster_workload,
+        make_sink_factory,
+    )
+    from repro.obs.spans import Tracer
+
+    topology, keystore, batches, _sources = build_cluster_workload(
+        args.grid_side, args.packets, sources=4
+    )
+    scheme = PNMMarking(mark_prob=1.0)
+    shard_key = region_shard_key(cell_size=1.0)
+
+    baseline = run_cluster(
+        make_sink_factory(topology, keystore),
+        scheme.fmt,
+        topology,
+        batches,
+        shard_ids=range(args.shards),
+        shard_key=shard_key,
+    )
+    observed = run_cluster(
+        make_sink_factory(topology, keystore),
+        scheme.fmt,
+        topology,
+        batches,
+        shard_ids=range(args.shards),
+        shard_key=shard_key,
+        shard_obs_factory=lambda sid: ObsProvider(
+            tracer=Tracer(id_prefix=f"sh{sid}-")
+        ),
+    )
+
+    federated = federate_snapshots(observed.telemetry)
+    seen: set[str] = set()
+    for entry in federated.snapshot()["metrics"]:
+        if entry["label_names"] and entry["label_names"][0] == SHARD_LABEL:
+            for series in entry["series"]:
+                seen.add(series["labels"][0])
+    expected = {str(sid) for sid in range(args.shards)}
+    labels_ok = expected <= seen
+    parity = verdict_json(observed.verdict) == verdict_json(baseline.verdict)
+
+    slo = compute_cluster_slo(
+        federated,
+        verdict=observed.verdict,
+        router_stats=observed.stats["router"],
+    )
+    print(format_status(slo))
+    status = "OK" if labels_ok and parity else "FAIL"
+    print(
+        f"telemetry-smoke: {status} -- shards_in_snapshot="
+        f"{sorted(seen)} expected={sorted(expected)}, "
+        f"verdict byte-identical={parity}"
+    )
+    if not labels_ok:
+        print(
+            f"telemetry-smoke: missing shard labels {sorted(expected - seen)}",
+            file=sys.stderr,
+        )
+    if not parity:
+        print(
+            "telemetry-smoke: telemetry perturbed the verdict "
+            "(observation-only contract broken)",
+            file=sys.stderr,
+        )
+    return 0 if labels_ok and parity else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return asyncio.run(_serve(args))
+    if args.command == "status":
+        return asyncio.run(_status(args))
+    if args.command == "telemetry-smoke":
+        return _telemetry_smoke(args)
     return _smoke(args)
 
 

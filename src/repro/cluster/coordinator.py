@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 from collections.abc import Mapping
+from typing import Any
 
 from repro.faults.attribution import (
     AccusationReport,
@@ -29,6 +30,9 @@ from repro.faults.attribution import (
 )
 from repro.net.topology import Topology
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanContext
+from repro.obs.telemetry import FederatedTelemetry
 from repro.traceback.sink import (
     SinkEvidence,
     TracebackVerdict,
@@ -106,9 +110,27 @@ class ClusterCoordinator:
     ):
         self.topology = topology
         self.obs = resolve_provider(obs)
+        self.telemetry = FederatedTelemetry()
 
-    def merge(self, per_shard: Mapping[int, SinkEvidence]) -> SinkEvidence:
-        """The merged global evidence (see :func:`merge_evidence`)."""
+    def _trace_event(
+        self, trace: SpanContext | None, name: str, **attrs: Any
+    ) -> None:
+        """Record a coordinator stage as a child span of ``trace``."""
+        tracer = self.obs.tracer
+        if tracer is None or trace is None:
+            return
+        tracer.finish(tracer.start(name, parent=trace, **attrs))
+
+    def merge(
+        self,
+        per_shard: Mapping[int, SinkEvidence],
+        trace: SpanContext | None = None,
+    ) -> SinkEvidence:
+        """The merged global evidence (see :func:`merge_evidence`).
+
+        With ``trace``, the merge is recorded as a ``cluster_merge``
+        child span of it -- the join point where per-shard traces meet.
+        """
         with self.obs.timer("cluster_merge_seconds"):
             merged = merge_evidence(per_shard)
         self.obs.set_gauge("cluster_merged_shards", len(per_shard))
@@ -116,11 +138,21 @@ class ClusterCoordinator:
             "cluster_merged_packets", merged.packets_received
         )
         self.obs.set_gauge("cluster_merged_edges", len(merged.edges))
+        self._trace_event(
+            trace,
+            "cluster_merge",
+            shards=len(per_shard),
+            packets=merged.packets_received,
+        )
         return merged
 
-    def verdict(self, evidence: SinkEvidence) -> TracebackVerdict:
+    def verdict(
+        self,
+        evidence: SinkEvidence,
+        trace: SpanContext | None = None,
+    ) -> TracebackVerdict:
         """Run the single-sink verdict function over merged evidence."""
-        return compute_verdict(
+        result = compute_verdict(
             evidence_precedence(evidence),
             dict(evidence.tamper_stops),
             evidence.tampered_packets,
@@ -130,6 +162,29 @@ class ClusterCoordinator:
             evidence.delivering_node,
             obs=self.obs,
         )
+        self._trace_event(
+            trace,
+            "cluster_verdict",
+            identified=result.identified,
+            packets_used=result.packets_used,
+        )
+        return result
+
+    def federate(
+        self, per_shard: Mapping[int, dict[str, Any]]
+    ) -> MetricsRegistry:
+        """Ingest per-shard telemetry snapshots; return the federated view.
+
+        Snapshots accumulate in :attr:`telemetry` (newest per shard
+        wins), so successive polls refine the same federated registry.
+        A pure read path: nothing is written back to any shard.
+        """
+        for shard_id in sorted(per_shard):
+            self.telemetry.ingest(shard_id, per_shard[shard_id])
+        registry = self.telemetry.registry()
+        self.obs.set_gauge("cluster_federated_shards", len(self.telemetry))
+        self.obs.set_gauge("cluster_federated_metrics", len(registry))
+        return registry
 
     def accusation(
         self,

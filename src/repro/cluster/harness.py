@@ -44,8 +44,11 @@ from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.ring import DEFAULT_VNODES, ShardRing, report_shard_key
 from repro.cluster.router import ShardReply, ShardRouter
 from repro.faults.schedule import FaultEvent, FaultSchedule
+from typing import Any
+
 from repro.net.topology import Topology
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import SpanContext
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
 from repro.service.ingest import SinkIngestService
@@ -58,12 +61,18 @@ __all__ = [
     "ShardHandle",
     "LocalCluster",
     "ClusterResult",
+    "JournalEntry",
     "drive_cluster",
     "run_cluster",
 ]
 
 #: One scheduled send: ``(packets, delivering_node)`` -- the loopback shape.
 Batch = tuple[list[MarkedPacket], int]
+
+#: One journaled acknowledgment: the sub-batch, its delivering node, and
+#: the trace context it was sent under (``None`` for untraced sends), so
+#: churn replays stay inside the original trace.
+JournalEntry = tuple[list[MarkedPacket], int, SpanContext | None]
 
 #: The only fault kinds meaningful for shard churn.
 _SHARD_FAULT_KINDS = ("crash", "recover")
@@ -93,6 +102,12 @@ class LocalCluster:
         service_kwargs: forwarded to every shard's
             :class:`SinkIngestService` (workers, hot_capacity, ...).
         obs: observability provider for router/cluster counters.
+        shard_obs_factory: builds one observability provider per shard id
+            (fresh registry/tracer per shard, and per replacement after a
+            recover) -- the provider each shard's sink, service and
+            server report into, and therefore what the shard serves over
+            the TELEMETRY frame.  ``None`` leaves shards on the NOOP
+            provider (empty telemetry snapshots).
     """
 
     def __init__(
@@ -104,6 +119,9 @@ class LocalCluster:
         vnodes: int = DEFAULT_VNODES,
         service_kwargs: Mapping[str, object] | None = None,
         obs: ObsProvider | NoopObsProvider | None = None,
+        shard_obs_factory: (
+            Callable[[int], ObsProvider | NoopObsProvider] | None
+        ) = None,
     ):
         ids = sorted(shard_ids)
         if not ids:
@@ -113,10 +131,11 @@ class LocalCluster:
         self.shard_key = shard_key
         self.service_kwargs = dict(service_kwargs or {})
         self.obs = resolve_provider(obs)
+        self.shard_obs_factory = shard_obs_factory
         self.ring = ShardRing(ids, vnodes=vnodes)
         self.handles: dict[int, ShardHandle] = {}
         self.dead: list[ShardHandle] = []
-        self.journal: dict[int, list[Batch]] = {}
+        self.journal: dict[int, list[JournalEntry]] = {}
         self.replayed_batches = 0
         self.shards_lost = 0
         self.shards_recovered = 0
@@ -156,7 +175,16 @@ class LocalCluster:
 
     async def _spawn(self, shard_id: int) -> ShardHandle:
         """Boot one shard and register it with the router."""
-        service = SinkIngestService(self.sink_factory(), **self.service_kwargs)
+        sink = self.sink_factory()
+        kwargs = dict(self.service_kwargs)
+        if self.shard_obs_factory is not None and "obs" not in kwargs:
+            # The shard's whole pipeline -- sink merge, verification,
+            # queue, wire transport -- reports into one per-shard
+            # provider; the server (obs=None) inherits the service's.
+            provider = self.shard_obs_factory(shard_id)
+            sink.obs = provider
+            kwargs["obs"] = provider
+        service = SinkIngestService(sink, **kwargs)
 
         def owns(packet: MarkedPacket, sid: int = shard_id) -> bool:
             return self.ring.shard_for(self.shard_key(packet)) == sid
@@ -229,20 +257,25 @@ class LocalCluster:
         for sid in sorted(self.handles):
             self.handles[sid].service.invalidate_all()
         entries = self.journal.pop(shard_id, [])
-        for packets, delivering_node in entries:
+        for packets, delivering_node, trace in entries:
             self.replayed_batches += 1
             self.obs.inc("cluster_replayed_batches_total")
-            replies = await self.router.send_batch(packets, delivering_node)
-            self._journal_replies(replies, delivering_node)
+            replies = await self.router.send_batch(
+                packets, delivering_node, trace=trace
+            )
+            self._journal_replies(replies, delivering_node, trace)
 
     # Traffic --------------------------------------------------------------------
 
     def _journal_replies(
-        self, replies: list[ShardReply], delivering_node: int
+        self,
+        replies: list[ShardReply],
+        delivering_node: int,
+        trace: SpanContext | None = None,
     ) -> None:
         for reply in replies:
             self.journal.setdefault(reply.shard_id, []).append(
-                (list(reply.packets), delivering_node)
+                (list(reply.packets), delivering_node, trace)
             )
         if replies:
             self.obs.set_gauge(
@@ -251,11 +284,20 @@ class LocalCluster:
             )
 
     async def send(
-        self, packets: list[MarkedPacket], delivering_node: int
+        self,
+        packets: list[MarkedPacket],
+        delivering_node: int,
+        trace: SpanContext | None = None,
     ) -> list[ShardReply]:
-        """Route one batch and journal every acknowledged sub-batch."""
-        replies = await self.router.send_batch(packets, delivering_node)
-        self._journal_replies(replies, delivering_node)
+        """Route one batch and journal every acknowledged sub-batch.
+
+        The trace context is journaled alongside the packets, so a churn
+        replay of this batch stays inside the original trace.
+        """
+        replies = await self.router.send_batch(
+            packets, delivering_node, trace=trace
+        )
+        self._journal_replies(replies, delivering_node, trace)
         return replies
 
     def checkpoint(self) -> int:
@@ -279,16 +321,21 @@ class LocalCluster:
         return dropped
 
     async def run_schedule(
-        self, batches: list[Batch], churn: FaultSchedule | None = None
+        self,
+        batches: list[Batch],
+        churn: FaultSchedule | None = None,
+        traces: list[SpanContext | None] | None = None,
     ) -> list[ShardReply]:
         """Send ``batches`` in order, applying shard churn between them.
 
         A churn event with ``time <= i`` fires before batch ``i`` is
         sent; events past the last batch fire after the final send.
+        ``traces`` optionally supplies one trace context per batch.
 
         Raises:
-            ValueError: on churn kinds other than crash/recover, or a
-                missing target shard ID.
+            ValueError: on churn kinds other than crash/recover, a
+                missing target shard ID, or a ``traces`` list whose
+                length disagrees with ``batches``.
         """
         events = list(churn.events) if churn is not None else []
         for event in events:
@@ -299,13 +346,23 @@ class LocalCluster:
                 )
             if event.node is None:
                 raise ValueError("shard churn events need a shard ID in .node")
+        if traces is not None and len(traces) != len(batches):
+            raise ValueError(
+                f"traces length {len(traces)} != batches length {len(batches)}"
+            )
         replies: list[ShardReply] = []
         cursor = 0
         for index, (packets, delivering_node) in enumerate(batches):
             while cursor < len(events) and events[cursor].time <= index:
                 await self._apply_churn(events[cursor])
                 cursor += 1
-            replies.extend(await self.send(packets, delivering_node))
+            replies.extend(
+                await self.send(
+                    packets,
+                    delivering_node,
+                    trace=traces[index] if traces is not None else None,
+                )
+            )
         while cursor < len(events):
             await self._apply_churn(events[cursor])
             cursor += 1
@@ -340,6 +397,20 @@ class LocalCluster:
             ].fetch_summary()
         return summaries
 
+    async def fetch_telemetry(self) -> dict[int, dict[str, Any]]:
+        """Poll every live shard's registry snapshot (TELEMETRY frame).
+
+        A pure read of the shards' obs side -- no sink or service state
+        changes, so polling telemetry can never perturb a verdict.
+        Shards running without observability answer ``{"metrics": []}``.
+        """
+        snapshots: dict[int, dict[str, Any]] = {}
+        for shard_id in sorted(self.router.clients):
+            snapshots[shard_id] = await self.router.clients[
+                shard_id
+            ].fetch_telemetry()
+        return snapshots
+
     def stats(self) -> dict[str, object]:
         """Routing, churn, and per-shard transport counters."""
         return {
@@ -370,6 +441,9 @@ class ClusterResult:
         verdict: the global verdict over the merged evidence.
         replies: every acknowledged sub-batch, in ack order.
         stats: router/churn/shard counters at shutdown.
+        telemetry: per-shard registry snapshots polled at the end of the
+            run (empty unless the cluster ran with ``shard_obs_factory``);
+            feed them to :func:`repro.obs.telemetry.federate_snapshots`.
     """
 
     summaries: dict[int, SinkEvidence]
@@ -377,6 +451,7 @@ class ClusterResult:
     verdict: TracebackVerdict
     replies: list[ShardReply] = field(default_factory=list)
     stats: dict[str, object] = field(default_factory=dict)
+    telemetry: dict[int, dict[str, Any]] = field(default_factory=dict)
 
 
 async def drive_cluster(
@@ -389,12 +464,18 @@ async def drive_cluster(
     churn: FaultSchedule | None = None,
     service_kwargs: Mapping[str, object] | None = None,
     obs: ObsProvider | NoopObsProvider | None = None,
+    shard_obs_factory: (
+        Callable[[int], ObsProvider | NoopObsProvider] | None
+    ) = None,
 ) -> ClusterResult:
     """Run a batch schedule through a fresh loopback cluster.
 
     The cluster analogue of :func:`repro.wire.loopback.drive_loopback`:
     start shards, stream the schedule (with optional churn), collect and
-    merge evidence, and tear everything down.
+    merge evidence, and tear everything down.  With ``shard_obs_factory``
+    each shard reports into its own provider and the result carries the
+    final per-shard telemetry snapshots; the packet/verdict path is
+    untouched either way.
     """
     coordinator = ClusterCoordinator(topology, obs=obs)
     cluster = LocalCluster(
@@ -404,10 +485,16 @@ async def drive_cluster(
         shard_key=shard_key,
         service_kwargs=service_kwargs,
         obs=obs,
+        shard_obs_factory=shard_obs_factory,
     )
     async with cluster:
         replies = await cluster.run_schedule(batches, churn=churn)
         summaries = await cluster.collect()
+        telemetry = (
+            await cluster.fetch_telemetry()
+            if shard_obs_factory is not None
+            else {}
+        )
         stats = cluster.stats()
     evidence = coordinator.merge(summaries)
     return ClusterResult(
@@ -416,6 +503,7 @@ async def drive_cluster(
         verdict=coordinator.verdict(evidence),
         replies=replies,
         stats=stats,
+        telemetry=telemetry,
     )
 
 
@@ -429,6 +517,9 @@ def run_cluster(
     churn: FaultSchedule | None = None,
     service_kwargs: Mapping[str, object] | None = None,
     obs: ObsProvider | NoopObsProvider | None = None,
+    shard_obs_factory: (
+        Callable[[int], ObsProvider | NoopObsProvider] | None
+    ) = None,
 ) -> ClusterResult:
     """Synchronous wrapper: :func:`drive_cluster` under ``asyncio.run``."""
     return asyncio.run(
@@ -442,5 +533,6 @@ def run_cluster(
             churn=churn,
             service_kwargs=service_kwargs,
             obs=obs,
+            shard_obs_factory=shard_obs_factory,
         )
     )

@@ -33,6 +33,7 @@ from collections.abc import Awaitable, Callable
 
 from repro.cluster.ring import ShardRing
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import SpanContext
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
 from repro.wire.client import SinkClient
@@ -164,12 +165,26 @@ class ShardRouter:
 
     # Sending ----------------------------------------------------------------
 
+    def _trace_event(
+        self, trace: SpanContext | None, name: str, **attrs: object
+    ) -> None:
+        """Record a routing decision as a child span of ``trace``."""
+        tracer = self.obs.tracer
+        if tracer is None or trace is None:
+            return
+        tracer.finish(tracer.start(name, parent=trace, **attrs))
+
     async def send_batch(
         self,
         packets: list[MarkedPacket] | tuple[MarkedPacket, ...],
         delivering_node: int,
+        trace: SpanContext | None = None,
     ) -> list[ShardReply]:
         """Deliver one batch, splitting, retrying and failing over as needed.
+
+        With ``trace``, every sub-batch frame carries the context and the
+        routing detours a caller cannot see from the replies -- WRONG_SHARD
+        reroutes and shard failovers -- are recorded as child spans of it.
 
         Returns:
             One :class:`ShardReply` per acknowledged sub-batch, in the
@@ -185,7 +200,7 @@ class ShardRouter:
             shard_id, sub_batch, reroutes = pending.pop(0)
             try:
                 verdict = await self._send_to_shard(
-                    shard_id, sub_batch, delivering_node
+                    shard_id, sub_batch, delivering_node, trace
                 )
             except WrongShardError:
                 # Our ring view went stale between split and send (a
@@ -198,12 +213,26 @@ class ShardRouter:
                     raise
                 self.wrong_shard_reroutes += 1
                 self.obs.inc("cluster_wrong_shard_reroutes_total")
+                self._trace_event(
+                    trace,
+                    "wrong_shard_reroute",
+                    shard=shard_id,
+                    packets=len(sub_batch),
+                    reroutes=reroutes + 1,
+                )
                 pending.extend(
                     (sid, sub, reroutes + 1)
                     for sid, sub in self.split(sub_batch)
                 )
                 continue
             except _DOWN_ERRORS as exc:
+                self._trace_event(
+                    trace,
+                    "shard_failover",
+                    shard=shard_id,
+                    packets=len(sub_batch),
+                    cause=type(exc).__name__,
+                )
                 await self.mark_down(shard_id, exc)
                 # A failover re-split is not a ring disagreement; the
                 # reroute budget carries over unchanged.
@@ -222,6 +251,7 @@ class ShardRouter:
         shard_id: int,
         packets: tuple[MarkedPacket, ...],
         delivering_node: int,
+        trace: SpanContext | None = None,
     ) -> WireVerdict:
         """One sub-batch to one shard, absorbing backpressure."""
         client = self._client(shard_id)
@@ -229,7 +259,7 @@ class ShardRouter:
         while True:
             try:
                 return await client.send_batch(
-                    packets, delivering_node, self.fmt
+                    packets, delivering_node, self.fmt, trace=trace
                 )
             except BackpressureError as exc:
                 if attempt >= self.max_backpressure_retries:

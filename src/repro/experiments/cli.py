@@ -127,6 +127,7 @@ def _run_observed(
     with obs_pkg.use_provider(provider):
         result = runner(preset)
     manifest.extra["notes"] = list(result.notes)
+    manifest.extra.update(result.extra)
     manifest.finish(metrics=provider.registry.snapshot())
     manifest.write(os.path.join(run_dir, "manifest.json"))
     with open(os.path.join(run_dir, "metrics.json"), "w", encoding="utf-8") as fh:

@@ -18,6 +18,10 @@ class FigureResult:
         columns: column headers, x-axis first.
         rows: data rows matching ``columns``.
         notes: free-form provenance (preset, runs, expectations).
+        extra: machine-readable side outputs (e.g. the ``slo`` block the
+            cluster/watchdog sweeps derive from federated telemetry);
+            merged verbatim into the run manifest's ``extra`` by the
+            experiments CLI.
     """
 
     figure_id: str
@@ -25,6 +29,7 @@ class FigureResult:
     columns: list[str]
     rows: list[list[Any]]
     notes: list[str] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
 
     def column(self, name: str) -> list[Any]:
         """Extract one column by header name."""

@@ -186,6 +186,10 @@ def _run_once(
         "delivered": probe.delivered_count,
         "pnm_detect": probe.pnm_stable_detection() or miss,
         "fused_detect": probe.fused_detection() or miss,
+        # Accusation->fusion latency SLO: delivered packets between the
+        # first accusation reaching the sink and fused conviction; None
+        # when either never happened (e.g. framing runs never convict).
+        "acc_fusion_latency": probe.accusation_fusion_latency(),
         "confirmed": len(fused.watchdog_confirmed),
         "rejected": len(fused.watchdog_rejected),
         "suppressed": len(layer.suppressed),
@@ -208,6 +212,7 @@ def run(preset: Preset = QUICK) -> FigureResult:
     all_strict = True
     wd_false_clean = True
     framing_clean = True
+    fusion_latencies: list[float] = []
     for n in CHAIN_LENGTHS:
         for target in TARGET_MARKS:
             p = probability_for_target_marks(n, target)
@@ -234,6 +239,11 @@ def run(preset: Preset = QUICK) -> FigureResult:
                     wd_false_clean = wd_false_clean and wd_false == 0.0
                     if scenario == "mole":
                         all_strict = all_strict and fused_mean < pnm_mean
+                        fusion_latencies.extend(
+                            float(o["acc_fusion_latency"])
+                            for o in outcomes
+                            if o["acc_fusion_latency"] is not None
+                        )
                     if scenario == "framing":
                         framing_clean = framing_clean and all(
                             o["fused_false_rate"] == 0.0 for o in outcomes
@@ -273,6 +283,17 @@ def run(preset: Preset = QUICK) -> FigureResult:
         f"must be 0.0 in every cell (observed: "
         f"{'yes' if wd_false_clean else 'NO'})",
     ]
+    fusion_latency = (
+        sum(fusion_latencies) / len(fusion_latencies)
+        if fusion_latencies
+        else None
+    )
+    if fusion_latency is not None:
+        notes.append(
+            "accusation->fusion latency (mole runs, delivered packets "
+            "between first accusation at sink and fused conviction): "
+            f"mean {fusion_latency:.1f} over {len(fusion_latencies)} runs"
+        )
     return FigureResult(
         figure_id="watchdog-sweep",
         title="Watchdog fusion vs. PNM-only: detection latency and safety",
@@ -292,6 +313,12 @@ def run(preset: Preset = QUICK) -> FigureResult:
         ],
         rows=rows,
         notes=notes,
+        extra={
+            "slo": {
+                "accusation_fusion_latency": fusion_latency,
+                "accusation_fusion_samples": len(fusion_latencies),
+            }
+        },
     )
 
 

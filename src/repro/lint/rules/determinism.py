@@ -31,6 +31,9 @@ _RL004_SCOPE = (
     "repro/service/",
     "repro/faults/",
     "repro/obs/",
+    # Covered by repro/obs/ today; pinned because federation order IS the
+    # telemetry determinism contract (sorted shard ids, stable series).
+    "repro/obs/telemetry/",
     "repro/wire/",
     "repro/cluster/",
     "repro/watchdog/",
@@ -46,6 +49,10 @@ _RL006_SCOPE = (
     "repro/tracealt/",
     "repro/faults/",
     "repro/obs/",
+    # Covered by repro/obs/ today; pinned so the SLO layer stays pure --
+    # it derives paper metrics from registries and must never read a
+    # clock of its own.
+    "repro/obs/telemetry/",
     # The wire layer is service code, but its retry/backoff and framing
     # must be driven by injected hints (retry_after_ms) and asyncio's
     # scheduler, never by reading the wall clock directly -- that is what

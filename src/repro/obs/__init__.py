@@ -49,9 +49,20 @@ from repro.obs.profiling import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span, SpanContext, Tracer, report_key
+from repro.obs.telemetry import (
+    SHARD_LABEL,
+    ClusterSlo,
+    FederatedTelemetry,
+    ShardSlo,
+    compute_cluster_slo,
+    federate_snapshots,
+    format_status,
+)
 
 __all__ = [
+    "ClusterSlo",
     "Counter",
+    "FederatedTelemetry",
     "Gauge",
     "Histogram",
     "HistogramSeries",
@@ -60,9 +71,14 @@ __all__ = [
     "NoopObsProvider",
     "ObsProvider",
     "RunManifest",
+    "SHARD_LABEL",
+    "ShardSlo",
     "Span",
     "SpanContext",
     "Tracer",
+    "compute_cluster_slo",
+    "federate_snapshots",
+    "format_status",
     "get_default_provider",
     "git_revision",
     "parse_prometheus_text",

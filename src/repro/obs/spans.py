@@ -121,6 +121,11 @@ class Tracer:
         max_spans: retained finished spans; past it, spans still chain
             (ids and bindings stay correct) but are no longer kept, and
             :attr:`truncated` is set.
+        id_prefix: optional prefix baked into every generated trace and
+            span id (``"sh0-t0000001"``...).  Distributed deployments
+            give each process a distinct prefix so ids stay globally
+            unique when spans from several tracers are merged into one
+            trace view; propagated contexts keep the originator's prefix.
     """
 
     def __init__(
@@ -128,6 +133,7 @@ class Tracer:
         clock: Callable[[], float] | None = None,
         sink: IO[str] | None = None,
         max_spans: int = DEFAULT_MAX_SPANS,
+        id_prefix: str = "",
     ):
         if max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {max_spans}")
@@ -138,6 +144,7 @@ class Tracer:
         self.clock = clock
         self.sink = sink
         self.max_spans = max_spans
+        self.id_prefix = id_prefix
         self.truncated = False  # guarded-by: _lock
         self.finished: list[Span] = []  # guarded-by: _lock
         self._lock = threading.Lock()
@@ -163,14 +170,14 @@ class Tracer:
         """
         with self._lock:
             self._span_seq += 1
-            span_id = f"s{self._span_seq:07d}"
+            span_id = f"{self.id_prefix}s{self._span_seq:07d}"
             if parent is not None:
                 tid = parent.trace_id
             elif trace_id is not None:
                 tid = trace_id
             else:
                 self._trace_seq += 1
-                tid = f"t{self._trace_seq:07d}"
+                tid = f"{self.id_prefix}t{self._trace_seq:07d}"
         return Span(
             trace_id=tid,
             span_id=span_id,

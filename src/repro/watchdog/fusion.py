@@ -119,6 +119,11 @@ class DetectionProbe:
         #: First delivered-packet index (1-based) with a corroborated
         #: watchdog conviction, or ``None``.
         self.corroborated_first: int | None = None
+        #: First delivered-packet index (1-based) at which *any*
+        #: watchdog accusation (corroborated or not) had reached the
+        #: sink, or ``None``.  The accusation->fusion latency SLO is
+        #: ``fused_detection() - first_accusation``.
+        self.first_accusation: int | None = None
 
     def receive(self, packet: MarkedPacket, delivering_node: int):
         """Feed one delivered packet through the sink, then re-check."""
@@ -136,6 +141,8 @@ class DetectionProbe:
             and bool(verdict.suspect.members & self.moles)
         )
         self.pnm_hits.append(pnm_hit)
+        if self.first_accusation is None and len(self.log):
+            self.first_accusation = self.delivered_count
         if self.corroborated_first is None and len(self.log):
             zone = tamper_corroboration_zone(
                 self.sink.evidence(), self.sink.topology
@@ -172,6 +179,20 @@ class DetectionProbe:
             if c is not None
         ]
         return min(candidates) if candidates else None
+
+    def accusation_fusion_latency(self) -> int | None:
+        """Delivered packets between first accusation and fused conviction.
+
+        The paper-metric SLO behind ``accusation_fusion_latency`` in
+        :func:`repro.obs.telemetry.compute_cluster_slo`: how long
+        watchdog evidence sat at the sink before fusion convicted.
+        ``None`` unless both events happened; clamped at 0 when PNM
+        alone convicted before the first accusation arrived.
+        """
+        fused = self.fused_detection()
+        if fused is None or self.first_accusation is None:
+            return None
+        return max(0, fused - self.first_accusation)
 
     def __repr__(self) -> str:
         return (

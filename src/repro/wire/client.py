@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
+from typing import Any
 
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
+from repro.obs.spans import SpanContext
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
 from repro.traceback.sink import SinkEvidence
@@ -35,12 +37,19 @@ from repro.wire.errors import (
     TruncatedError,
     WrongShardError,
 )
-from repro.wire.frames import Frame, FrameDecoder, FrameType, encode_frame
+from repro.wire.frames import (
+    Frame,
+    FrameDecoder,
+    FrameType,
+    WireTraceContext,
+    encode_frame,
+)
 from repro.wire.messages import (
     WireErrorInfo,
     WireVerdict,
     decode_error,
     decode_summary,
+    decode_telemetry,
     decode_verdict,
     encode_batch,
     encode_error,
@@ -149,12 +158,32 @@ class SinkClient:
 
     # Frame I/O ---------------------------------------------------------------
 
-    async def _write_frame(self, frame_type: FrameType, payload: bytes) -> None:
+    async def _write_frame(
+        self,
+        frame_type: FrameType,
+        payload: bytes,
+        trace: SpanContext | None = None,
+    ) -> None:
         if self._writer is None:
             raise ConnectError("client is not connected")
-        data = encode_frame(frame_type, payload)
+        wire_trace = None
+        if trace is not None:
+            wire_trace = WireTraceContext(
+                trace_id=trace.trace_id, span_id=trace.span_id
+            )
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.finish(
+                    tracer.start(
+                        "wire_tx",
+                        parent=trace,
+                        frame=frame_type.name,
+                        peer=f"{self.host}:{self.port}",
+                    )
+                )
+        data = encode_frame(frame_type, payload, trace=wire_trace)
         self.obs.inc("wire_frames_tx_total", frame=frame_type.name)
-        self.obs.inc("wire_bytes_tx_total", len(data))
+        self.obs.inc("wire_bytes_tx_total", len(data), frame=frame_type.name)
         self._writer.write(data)
         await self._writer.drain()
 
@@ -168,10 +197,12 @@ class SinkClient:
             if not chunk:
                 self._decoder.finish()
                 raise TruncatedError("server closed before a complete reply")
-            self.obs.inc("wire_bytes_rx_total", len(chunk))
             self._pending.extend(self._decoder.feed(chunk))
         frame = self._pending.popleft()
         self.obs.inc("wire_frames_rx_total", frame=frame.frame_type.name)
+        self.obs.inc(
+            "wire_bytes_rx_total", frame.wire_len, frame=frame.frame_type.name
+        )
         return frame
 
     @staticmethod
@@ -257,12 +288,40 @@ class SinkClient:
             )
         return decode_summary(reply.payload)
 
+    async def fetch_telemetry(self) -> dict[str, Any]:
+        """Request the server's metrics-registry snapshot (TELEMETRY).
+
+        Returns the snapshot dict
+        (:meth:`~repro.obs.registry.MetricsRegistry.snapshot` shape); a
+        server running without observability answers with an empty
+        snapshot (``{"metrics": []}``).
+        """
+        await self._write_frame(FrameType.TELEMETRY, b"")
+        reply = await self._read_frame()
+        if reply.frame_type is FrameType.ERROR:
+            raise self._raise_remote(decode_error(reply.payload))
+        if reply.frame_type is not FrameType.TELEMETRY:
+            raise BadFrameError(
+                f"expected TELEMETRY reply, got {reply.frame_type.name}"
+            )
+        return decode_telemetry(reply.payload)
+
     async def send_report(
-        self, packet: MarkedPacket, delivering_node: int, fmt: MarkFormat
+        self,
+        packet: MarkedPacket,
+        delivering_node: int,
+        fmt: MarkFormat,
+        trace: SpanContext | None = None,
     ) -> WireVerdict:
-        """Submit a single packet; returns the sink's updated verdict."""
+        """Submit a single packet; returns the sink's updated verdict.
+
+        With ``trace``, the REPORT frame carries the context so the
+        server's spans join the caller's trace.
+        """
         await self._write_frame(
-            FrameType.REPORT, encode_report(packet, delivering_node, fmt)
+            FrameType.REPORT,
+            encode_report(packet, delivering_node, fmt),
+            trace=trace,
         )
         return self._expect_verdict(await self._read_frame())
 
@@ -271,8 +330,12 @@ class SinkClient:
         packets: list[MarkedPacket] | tuple[MarkedPacket, ...],
         delivering_node: int,
         fmt: MarkFormat,
+        trace: SpanContext | None = None,
     ) -> WireVerdict:
         """Submit one batch; returns the sink's updated verdict.
+
+        With ``trace``, the BATCH frame carries the context so the
+        server's spans join the caller's trace.
 
         Raises:
             BackpressureError: when the server's queue shed packets (the
@@ -280,7 +343,9 @@ class SinkClient:
             RemoteError: on any other server-side rejection.
         """
         await self._write_frame(
-            FrameType.BATCH, encode_batch(packets, delivering_node, fmt)
+            FrameType.BATCH,
+            encode_batch(packets, delivering_node, fmt),
+            trace=trace,
         )
         return self._expect_verdict(await self._read_frame())
 
@@ -294,16 +359,25 @@ class SinkClient:
         self,
         batches: list[tuple[list[MarkedPacket], int]],
         fmt: MarkFormat,
+        traces: list[SpanContext | None] | None = None,
     ) -> list[WireVerdict | WireErrorInfo]:
         """Pipeline many batches: write them all, then read all replies.
 
         Unlike :meth:`send_batch`, per-batch rejections are *returned*
         (as :class:`WireErrorInfo`) rather than raised, so one shed batch
         does not discard the verdicts of the batches pipelined behind it.
+        ``traces`` optionally supplies one context per batch (``None``
+        entries send context-free frames).
         """
-        for packets, delivering_node in batches:
+        if traces is not None and len(traces) != len(batches):
+            raise ValueError(
+                f"traces length {len(traces)} != batches length {len(batches)}"
+            )
+        for index, (packets, delivering_node) in enumerate(batches):
             await self._write_frame(
-                FrameType.BATCH, encode_batch(packets, delivering_node, fmt)
+                FrameType.BATCH,
+                encode_batch(packets, delivering_node, fmt),
+                trace=traces[index] if traces is not None else None,
             )
         return [
             self._parse_reply(await self._read_frame())

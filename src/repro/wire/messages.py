@@ -15,7 +15,9 @@ surface as a wall of MAC failures instead of one clean error.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
@@ -50,6 +52,8 @@ __all__ = [
     "decode_error",
     "encode_summary",
     "decode_summary",
+    "encode_telemetry",
+    "decode_telemetry",
 ]
 
 _MAX_ERROR_MESSAGE_LEN = 4096
@@ -376,6 +380,38 @@ def decode_summary(payload: bytes) -> SinkEvidence:
         fallback_searches=fallback_searches,
         delivering_node=delivering_node,
     )
+
+
+def encode_telemetry(snapshot: dict[str, Any]) -> bytes:
+    """Serialize a :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+
+    TELEMETRY is a request/reply pair: the request is an *empty* payload
+    (poll), the reply is the shard's registry snapshot as canonical JSON
+    (sorted keys, no whitespace) so identical registries encode
+    identical bytes.  JSON rather than a bespoke binary grammar because
+    snapshots are structural (nested labels, histogram buckets) and the
+    federation path is off the packet hot path.
+    """
+    return json.dumps(
+        snapshot, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_telemetry(payload: bytes) -> dict[str, Any]:
+    """Parse a TELEMETRY reply payload into a registry snapshot dict."""
+    if not payload:
+        raise TruncatedError("empty TELEMETRY payload")
+    try:
+        snapshot = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadFrameError(f"malformed TELEMETRY payload: {exc}") from exc
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        raise BadFrameError(
+            "TELEMETRY payload is not a registry snapshot object"
+        )
+    if not isinstance(snapshot["metrics"], list):
+        raise BadFrameError("TELEMETRY snapshot 'metrics' is not a list")
+    return snapshot
 
 
 def decode_error(payload: bytes) -> WireErrorInfo:

@@ -30,7 +30,7 @@ import asyncio
 from collections.abc import Callable
 
 from repro.obs.profiling import NoopObsProvider, ObsProvider, resolve_provider
-from repro.obs.spans import report_key
+from repro.obs.spans import SpanContext, report_key
 from repro.packets.marks import MarkFormat
 from repro.packets.packet import MarkedPacket
 from repro.service.ingest import SinkIngestService
@@ -44,6 +44,7 @@ from repro.wire.messages import (
     decode_report,
     encode_error,
     encode_summary,
+    encode_telemetry,
     encode_verdict,
 )
 
@@ -209,10 +210,14 @@ class SinkServer:
                 if not chunk:
                     decoder.finish()
                     break
-                self.obs.inc("wire_bytes_rx_total", len(chunk))
                 for frame in decoder.feed(chunk):
                     self.obs.inc(
                         "wire_frames_rx_total", frame=frame.frame_type.name
+                    )
+                    self.obs.inc(
+                        "wire_bytes_rx_total",
+                        frame.wire_len,
+                        frame=frame.frame_type.name,
                     )
                     keep_open = await self._dispatch(frame, writer, conn_id)
                     if not keep_open:
@@ -253,7 +258,14 @@ class SinkServer:
                     if frame.frame_type is FrameType.BATCH
                     else decode_report(frame.payload)
                 )
-            await self._ingest_batch(batch, writer, conn_id)
+            trace = (
+                SpanContext(
+                    trace_id=frame.trace.trace_id, span_id=frame.trace.span_id
+                )
+                if frame.trace is not None
+                else None
+            )
+            await self._ingest_batch(batch, writer, conn_id, trace=trace)
             return True
         if frame.frame_type is FrameType.SUMMARY:
             # Evidence snapshot: flush so the summary covers every batch
@@ -262,6 +274,21 @@ class SinkServer:
             evidence = self.service.sink.evidence()
             await self._send(
                 writer, FrameType.SUMMARY, encode_summary(evidence)
+            )
+            return True
+        if frame.frame_type is FrameType.TELEMETRY:
+            # Metrics snapshot: refresh derived gauges, then ship the
+            # registry (an empty snapshot when observability is off).
+            # A pure read of the obs side -- never touches sink state.
+            self.service.publish_stats()
+            registry = self.obs.registry
+            snapshot = (
+                registry.snapshot()
+                if registry is not None
+                else {"metrics": []}
+            )
+            await self._send(
+                writer, FrameType.TELEMETRY, encode_telemetry(snapshot)
             )
             return True
         # VERDICT and ERROR only flow sink -> client; anything else a
@@ -277,7 +304,11 @@ class SinkServer:
         return False
 
     async def _ingest_batch(
-        self, batch: WireBatch, writer: asyncio.StreamWriter, conn_id: int
+        self,
+        batch: WireBatch,
+        writer: asyncio.StreamWriter,
+        conn_id: int,
+        trace: SpanContext | None = None,
     ) -> None:
         if batch.fmt != self.fmt:
             self.batches_rejected += 1
@@ -314,9 +345,14 @@ class SinkServer:
         tracer = self.obs.tracer
         if tracer is not None:
             for packet in batch.packets:
-                tracer.event(
-                    report_key(packet.report), "wire_rx", conn=conn_id
-                )
+                key = report_key(packet.report)
+                # A frame-borne context adopts the sender's trace: bind
+                # it under the report key first, so the wire_rx event --
+                # and every downstream queue/verify/verdict span chained
+                # on the same key -- joins the client's trace id.
+                if trace is not None:
+                    tracer.bind(key, trace)
+                tracer.event(key, "wire_rx", conn=conn_id)
         # All-or-nothing admission: a BACKPRESSURE reply must guarantee
         # the queue took nothing, because clients retry the whole batch
         # verbatim -- any accepted prefix left queued here would be
@@ -349,7 +385,7 @@ class SinkServer:
     ) -> None:
         data = encode_frame(frame_type, payload)
         self.obs.inc("wire_frames_tx_total", frame=frame_type.name)
-        self.obs.inc("wire_bytes_tx_total", len(data))
+        self.obs.inc("wire_bytes_tx_total", len(data), frame=frame_type.name)
         writer.write(data)
         await writer.drain()
 

@@ -366,7 +366,7 @@ class TestCheckpoint:
                     cluster.journal, key=lambda sid: len(cluster.journal[sid])
                 )
                 victim_acked = sum(
-                    len(chunk) for chunk, _ in cluster.journal[victim]
+                    len(chunk) for chunk, _, _ in cluster.journal[victim]
                 )
                 dropped = cluster.checkpoint()
                 remaining = sum(

@@ -11,8 +11,15 @@ Three layers, one contract each:
 * adversarial bytes: truncations and mutations of valid frames decode to
   a typed :class:`~repro.wire.errors.WireError` or (for mutations the
   CRC cannot see, which do not exist) a valid frame -- never a bare
-  ``struct.error``, ``IndexError``, or silent acceptance.
+  ``struct.error``, ``IndexError``, or silent acceptance;
+* the v2 trace-context extension: traced frames round-trip their
+  context, context-free frames stay byte-identical v1, v1/v2 streams
+  interleave through the stream decoder, and a malformed trace block
+  inside a complete CRC-valid frame is :class:`BadFrameError` -- never
+  :class:`TruncatedError`, so the decoder cannot stall on it.
 """
+
+import zlib
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -28,10 +35,19 @@ from repro.wire.codec import (
     read_varint,
     write_varint,
 )
-from repro.wire.errors import WireError
+from repro.wire.errors import (
+    BadFrameError,
+    BadVersionError,
+    TruncatedError,
+    WireError,
+)
 from repro.wire.frames import (
+    MAX_TRACE_ID_LEN,
+    PROTOCOL_VERSION,
+    TRACE_PROTOCOL_VERSION,
     FrameDecoder,
     FrameType,
+    WireTraceContext,
     decode_frame,
     encode_frame,
 )
@@ -238,6 +254,158 @@ class TestFrameRoundTrip:
             out.extend(decoder.feed(stream[start : start + chunk_size]))
         decoder.finish()
         assert [(f.frame_type, f.payload) for f in out] == frames
+
+
+trace_ids = st.text(min_size=1, max_size=32).filter(
+    lambda s: 0 < len(s.encode("utf-8")) <= MAX_TRACE_ID_LEN
+)
+
+trace_contexts = st.builds(
+    WireTraceContext, trace_id=trace_ids, span_id=trace_ids
+)
+
+
+def raw_frame(version: int, type_byte: int, payload: bytes) -> bytes:
+    """A CRC-valid frame with an arbitrary version/type/payload."""
+    body = bytes((version, type_byte)) + write_varint(len(payload)) + payload
+    return body + zlib.crc32(body).to_bytes(4, "big")
+
+
+class TestTraceFrameRoundTrip:
+    @given(
+        frame_type=st.sampled_from(list(FrameType)),
+        payload=st.binary(max_size=256),
+        trace=trace_contexts,
+    )
+    @settings(max_examples=300)
+    def test_v2_round_trip(self, frame_type, payload, trace):
+        encoded = encode_frame(frame_type, payload, trace=trace)
+        assert encoded[0] == TRACE_PROTOCOL_VERSION
+        frame, consumed = decode_frame(encoded)
+        assert consumed == len(encoded)
+        assert frame.frame_type is frame_type
+        assert frame.payload == payload
+        assert frame.trace == trace
+        assert frame.wire_len == len(encoded)
+
+    @given(
+        frame_type=st.sampled_from(list(FrameType)),
+        payload=st.binary(max_size=256),
+    )
+    @settings(max_examples=200)
+    def test_context_free_frames_stay_byte_identical_v1(
+        self, frame_type, payload
+    ):
+        encoded = encode_frame(frame_type, payload)
+        assert encoded[0] == PROTOCOL_VERSION
+        assert encoded == encode_frame(frame_type, payload, trace=None)
+
+    @given(
+        frame_type=st.sampled_from(list(FrameType)),
+        payload=st.binary(max_size=64),
+        trace=trace_contexts,
+        cut=st.integers(min_value=1, max_value=80),
+        flip_at=st.integers(min_value=0, max_value=400),
+        flip_bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=400)
+    def test_v2_corruption_always_typed(
+        self, frame_type, payload, trace, cut, flip_at, flip_bit
+    ):
+        encoded = encode_frame(frame_type, payload, trace=trace)
+
+        truncated = encoded[: max(0, len(encoded) - cut)]
+        try:
+            frame, consumed = decode_frame(truncated)
+            assert consumed <= len(truncated)
+        except WireError:
+            pass
+
+        mutated = bytearray(encoded)
+        mutated[flip_at % len(mutated)] ^= 1 << flip_bit
+        try:
+            decode_frame(bytes(mutated))
+            assert bytes(mutated) == encoded
+        except WireError:
+            pass
+
+    @given(
+        frame_type=st.sampled_from(list(FrameType)),
+        body=st.binary(max_size=128),
+    )
+    @settings(max_examples=400)
+    def test_malformed_trace_block_never_stalls_the_decoder(
+        self, frame_type, body
+    ):
+        """Arbitrary bytes as a v2 body: the whole frame arrived, so a
+        trace block the decoder cannot parse must be ``BadFrameError``,
+        never ``TruncatedError`` -- the stream decoder would otherwise
+        wait forever for bytes that are not coming.
+        """
+        encoded = raw_frame(TRACE_PROTOCOL_VERSION, int(frame_type), body)
+        try:
+            frame, consumed = decode_frame(encoded)
+            assert consumed == len(encoded)
+            # A surviving decode means the body really opened with a
+            # well-formed trace block.
+            assert frame.trace is not None
+            assert encode_frame(
+                frame_type, frame.payload, trace=frame.trace
+            ) == encoded
+        except TruncatedError:
+            raise AssertionError(
+                "complete CRC-valid v2 frame reported as truncated"
+            )
+        except BadFrameError:
+            pass
+
+    def test_truncated_trace_block_is_bad_frame(self):
+        # Declares a 127-byte trace id but the payload ends immediately.
+        encoded = raw_frame(TRACE_PROTOCOL_VERSION, int(FrameType.PING), b"\x7f")
+        try:
+            decode_frame(encoded)
+        except BadFrameError:
+            return
+        raise AssertionError("truncated trace block not rejected as BadFrame")
+
+    @given(
+        frame_type=st.sampled_from(list(FrameType)),
+        payload=st.binary(max_size=64),
+        version=st.integers(min_value=3, max_value=255),
+    )
+    @settings(max_examples=200)
+    def test_versions_past_the_trace_extension_are_rejected(
+        self, frame_type, payload, version
+    ):
+        encoded = raw_frame(version, int(frame_type), payload)
+        try:
+            decode_frame(encoded)
+        except BadVersionError:
+            return
+        raise AssertionError(f"version {version} not rejected")
+
+    @given(
+        frames=st.lists(
+            st.tuples(
+                st.sampled_from(list(FrameType)),
+                st.binary(max_size=40),
+                st.one_of(st.none(), trace_contexts),
+            ),
+            max_size=5,
+        ),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200)
+    def test_mixed_version_stream_any_chunking(self, frames, chunk_size):
+        stream = b"".join(
+            encode_frame(t, p, trace=trace) for t, p, trace in frames
+        )
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[start : start + chunk_size]))
+        decoder.finish()
+        assert [(f.frame_type, f.payload, f.trace) for f in out] == frames
 
 
 class TestPayloadRoundTrip:

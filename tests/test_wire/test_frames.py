@@ -14,9 +14,12 @@ from repro.wire.errors import (
 )
 from repro.wire.frames import (
     MAX_PAYLOAD_LEN,
+    MAX_TRACE_ID_LEN,
     PROTOCOL_VERSION,
+    TRACE_PROTOCOL_VERSION,
     FrameDecoder,
     FrameType,
+    WireTraceContext,
     decode_frame,
     encode_frame,
 )
@@ -57,7 +60,7 @@ class TestDecodeFrame:
         # Byte 0 is the version; a future version may use a different
         # trailer entirely, so the version error must win over BadCrc.
         data = bytearray(valid_frame())
-        data[0] = PROTOCOL_VERSION + 1
+        data[0] = TRACE_PROTOCOL_VERSION + 1
         with pytest.raises(BadVersionError):
             decode_frame(bytes(data))
 
@@ -97,6 +100,125 @@ class TestDecodeFrame:
     def test_encode_oversize_rejected(self):
         with pytest.raises(OversizedError):
             encode_frame(FrameType.BATCH, b"\x00" * (MAX_PAYLOAD_LEN + 1))
+
+
+class TestTraceContext:
+    """The v2 trace-context extension (optional, backward compatible)."""
+
+    TRACE = WireTraceContext(trace_id="t0000042", span_id="gw-s0000007")
+
+    def test_context_free_encoding_is_byte_identical_v1(self):
+        assert encode_frame(FrameType.BATCH, b"x") == encode_frame(
+            FrameType.BATCH, b"x", trace=None
+        )
+        assert encode_frame(FrameType.BATCH, b"x")[0] == PROTOCOL_VERSION
+
+    def test_traced_round_trip(self):
+        data = encode_frame(FrameType.BATCH, b"payload", trace=self.TRACE)
+        assert data[0] == TRACE_PROTOCOL_VERSION
+        frame, consumed = decode_frame(data)
+        assert consumed == len(data)
+        assert frame.frame_type is FrameType.BATCH
+        assert frame.payload == b"payload"
+        assert frame.trace == self.TRACE
+        assert frame.wire_len == len(data)
+
+    def test_v1_frames_still_decode_with_no_trace(self):
+        frame, _ = decode_frame(encode_frame(FrameType.REPORT, b"p"))
+        assert frame.trace is None
+
+    def test_traced_empty_payload(self):
+        frame, _ = decode_frame(
+            encode_frame(FrameType.SUMMARY, b"", trace=self.TRACE)
+        )
+        assert frame.payload == b""
+        assert frame.trace == self.TRACE
+
+    def test_traced_truncation_every_cut(self):
+        data = encode_frame(FrameType.BATCH, b"hi", trace=self.TRACE)
+        for cut in range(len(data)):
+            with pytest.raises(TruncatedError):
+                decode_frame(data[:cut])
+
+    def test_empty_ids_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            WireTraceContext(trace_id="", span_id="s1")
+        with pytest.raises(ValueError):
+            WireTraceContext(trace_id="t1", span_id="")
+
+    def test_oversized_ids_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            WireTraceContext(
+                trace_id="x" * (MAX_TRACE_ID_LEN + 1), span_id="s1"
+            )
+
+    def test_short_trace_block_is_bad_frame_not_truncated(self):
+        # A complete v2 frame whose trace block ends early is corruption:
+        # raising TruncatedError here would stall the stream decoder
+        # waiting for bytes that will never come.
+        from repro.wire.codec import write_varint
+
+        body = (
+            bytes((TRACE_PROTOCOL_VERSION, int(FrameType.BATCH)))
+            + write_varint(2)
+            + write_varint(40)  # claims a 40-byte trace id; 0 bytes follow
+            + b"z"
+        )
+        with pytest.raises(BadFrameError):
+            decode_frame(reframe(body))
+
+    def test_zero_length_trace_id_is_bad_frame(self):
+        from repro.wire.codec import write_varint
+
+        block = write_varint(0) + write_varint(1) + b"s"
+        body = (
+            bytes((TRACE_PROTOCOL_VERSION, int(FrameType.BATCH)))
+            + write_varint(len(block))
+            + block
+        )
+        with pytest.raises(BadFrameError):
+            decode_frame(reframe(body))
+
+    def test_non_utf8_trace_id_is_bad_frame(self):
+        from repro.wire.codec import write_varint
+
+        block = write_varint(2) + b"\xff\xfe" + write_varint(1) + b"s"
+        body = (
+            bytes((TRACE_PROTOCOL_VERSION, int(FrameType.BATCH)))
+            + write_varint(len(block))
+            + block
+        )
+        with pytest.raises(BadFrameError):
+            decode_frame(reframe(body))
+
+    def test_decoder_recovers_nothing_after_trace_corruption(self):
+        # Sticky-error contract holds for trace-block corruption too.
+        from repro.wire.codec import write_varint
+
+        body = (
+            bytes((TRACE_PROTOCOL_VERSION, int(FrameType.BATCH)))
+            + write_varint(1)
+            + write_varint(60)
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(BadFrameError):
+            decoder.feed(reframe(body))
+        with pytest.raises(BadFrameError):
+            decoder.feed(valid_frame())
+
+    def test_stream_mixes_v1_and_v2(self):
+        stream = (
+            valid_frame(b"a")
+            + encode_frame(FrameType.BATCH, b"b", trace=self.TRACE)
+            + valid_frame(b"c")
+        )
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(stream)):
+            frames.extend(decoder.feed(stream[i : i + 1]))
+        decoder.finish()
+        assert [f.payload for f in frames] == [b"a", b"b", b"c"]
+        assert [f.trace for f in frames] == [None, self.TRACE, None]
 
 
 class TestFrameDecoder:
