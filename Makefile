@@ -1,6 +1,6 @@
 # Convenience targets for the PNM reproduction.
 
-.PHONY: install test lint bench bench-check experiments experiments-full faults watchdog obs serve-smoke cluster-smoke telemetry-smoke examples clean
+.PHONY: install test lint bench bench-check experiments experiments-full faults algebraic watchdog obs serve-smoke cluster-smoke telemetry-smoke examples clean
 
 install:
 	pip install -e .
@@ -31,6 +31,11 @@ experiments-full:
 # Traceback under churn: crashes, repairs, false accusations (docs/faults.md).
 faults:
 	python -m repro.experiments.cli faults-sweep --preset quick
+
+# Algebraic accumulator vs PNM head-to-head under churn: convergence,
+# byte overhead, false accusations (docs/algebraic.md).
+algebraic:
+	python -m repro.experiments.cli algebraic-sweep --preset quick
 
 # Watchdog overhearing + sink-side fusion: detection latency vs. PNM-only,
 # lying-watchdog and collusion scenarios (docs/watchdog.md).

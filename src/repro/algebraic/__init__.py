@@ -1,0 +1,79 @@
+"""Incremental algebraic traceback for dynamic networks.
+
+Implements the path-as-polynomial traceback of *On Algebraic Traceback in
+Dynamic Networks* (arXiv:0908.0078) on top of this repo's PNM
+infrastructure, as the ROADMAP's dynamic-network extension:
+
+* :mod:`repro.algebraic.field` -- prime-field arithmetic: per-report
+  evaluation points, Horner updates, Lagrange interpolation, and the
+  suffix solve that makes repair incremental.
+* :mod:`repro.algebraic.marking` -- :class:`AlgebraicMarking`, a
+  :class:`~repro.marking.base.MarkingScheme` whose single accumulator
+  mark is *replaced* per hop (constant byte overhead), registered as
+  ``"algebraic"`` in :mod:`repro.marking`.
+* :mod:`repro.algebraic.solver` -- :class:`AlgebraicSolver`, the sink
+  component that interpolates paths and repairs its estimate across
+  :mod:`repro.faults` churn instead of restarting convergence.
+* :mod:`repro.algebraic.sink` -- :class:`AlgebraicTracebackSink`, the
+  drop-in sink wiring observations into evidence, verdicts, and the
+  cluster merge path.
+
+See ``docs/algebraic.md`` for the protocol, its threat model relative to
+PNM, and the head-to-head churn results (``algebraic-sweep``).
+"""
+
+from repro.algebraic.errors import (
+    AlgebraicError,
+    MalformedAccumulatorError,
+    MalformedObservationError,
+)
+from repro.algebraic.field import (
+    PRIME,
+    eval_poly,
+    evaluation_point,
+    horner_step,
+    interpolate,
+    solve_suffix,
+)
+from repro.algebraic.marking import (
+    MAX_PATH_LEN,
+    AlgebraicMarking,
+    pack_accumulator,
+    unpack_accumulator,
+)
+from repro.algebraic.sink import (
+    AlgebraicTracebackSink,
+    algebraic_precedence,
+    algebraic_verdict,
+    observation_from,
+)
+from repro.algebraic.solver import (
+    AlgebraicObservation,
+    AlgebraicSolution,
+    AlgebraicSolver,
+    solve_observations,
+)
+
+__all__ = [
+    "PRIME",
+    "MAX_PATH_LEN",
+    "AlgebraicError",
+    "MalformedAccumulatorError",
+    "MalformedObservationError",
+    "evaluation_point",
+    "horner_step",
+    "eval_poly",
+    "interpolate",
+    "solve_suffix",
+    "AlgebraicMarking",
+    "pack_accumulator",
+    "unpack_accumulator",
+    "AlgebraicObservation",
+    "AlgebraicSolution",
+    "AlgebraicSolver",
+    "solve_observations",
+    "AlgebraicTracebackSink",
+    "observation_from",
+    "algebraic_precedence",
+    "algebraic_verdict",
+]

@@ -1,0 +1,31 @@
+"""Typed error taxonomy for the algebraic traceback subsystem.
+
+Adversarial input -- corrupt accumulators, garbage observations, fields
+out of range -- must surface as these types (or be absorbed as counted
+malformed input), never as bare ``ValueError``/``IndexError`` escaping
+from arithmetic: the property suite pins that the solver and scheme are
+total over arbitrary bytes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AlgebraicError", "MalformedAccumulatorError", "MalformedObservationError"]
+
+
+class AlgebraicError(ValueError):
+    """Base class for all algebraic-traceback errors."""
+
+
+class MalformedAccumulatorError(AlgebraicError):
+    """An on-wire accumulator field that does not parse.
+
+    Raised by strict parsing entry points
+    (:func:`repro.algebraic.marking.unpack_accumulator`).  Forwarding-path
+    code never lets it propagate: an honest forwarder treats a malformed
+    accumulator as absent and restarts the polynomial at itself, which is
+    what turns upstream garbling into a clean suffix path at the sink.
+    """
+
+
+class MalformedObservationError(AlgebraicError):
+    """A sink-side observation tuple with out-of-range fields."""

@@ -1,0 +1,161 @@
+"""Prime-field arithmetic for algebraic traceback (arXiv:0908.0078).
+
+The algebraic scheme encodes a forwarding path ``V_1 ... V_m`` as the
+degree-``m-1`` polynomial ``f(x) = V_1 x^{m-1} + V_2 x^{m-2} + ... + V_m``
+over a prime field.  Each hop maintains a single *evaluation* of ``f`` at a
+per-report point ``x`` via one Horner step -- ``f <- f*x + node_id`` -- so
+the per-packet overhead is constant regardless of path length.  The sink,
+collecting evaluations at ``m`` distinct points, recovers the coefficients
+(and hence the ordered path) by Lagrange interpolation.
+
+The modulus is the Mersenne prime ``2^31 - 1``: field elements fit the
+4-byte accumulator the wire format carries, and every node ID in any
+supported deployment is a valid coefficient.
+
+The evaluation point is *public* and deterministic -- derived by hashing
+the report bytes -- so honest forwarders need no coordination and the sink
+needs no side channel; distinct reports give (essentially always) distinct
+points, which is exactly what interpolation needs.  It is not secret
+material: path *authentication* comes from the delivering node's MAC, not
+from the point (see :mod:`repro.algebraic.marking`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "PRIME",
+    "evaluation_point",
+    "horner_step",
+    "eval_poly",
+    "interpolate",
+    "solve_suffix",
+]
+
+#: Field modulus: the Mersenne prime 2^31 - 1.  Fits 4 bytes; comfortably
+#: larger than any node-ID space the simulations use.
+PRIME = (1 << 31) - 1
+
+_POINT_DOMAIN = b"algebraic-point\x00"
+
+
+def evaluation_point(report_wire: bytes) -> int:
+    """The public per-report evaluation point ``x`` in ``[1, PRIME - 1]``.
+
+    Derived from the report bytes with a domain-separated hash, so every
+    honest node and the sink agree on it without coordination, and
+    distinct reports land on distinct points except with negligible
+    (``~ m^2 / 2^31``) collision probability -- collisions only cost the
+    solver one redundant observation, never correctness.
+    """
+    digest = hashlib.sha256(_POINT_DOMAIN + report_wire).digest()
+    return 1 + int.from_bytes(digest[:8], "big") % (PRIME - 1)
+
+
+def horner_step(value: int, point: int, node_id: int) -> int:
+    """One per-hop accumulator update: ``f <- f * x + node_id (mod p)``."""
+    return (value * point + node_id) % PRIME
+
+
+def eval_poly(coeffs: tuple[int, ...] | list[int], point: int) -> int:
+    """Evaluate ``sum(coeffs[i] * x^(m-1-i))`` at ``point`` by Horner.
+
+    ``coeffs`` is highest-degree first -- the most upstream forwarder
+    first, matching path order.  The empty polynomial evaluates to 0.
+    """
+    value = 0
+    for coeff in coeffs:
+        value = (value * point + coeff) % PRIME
+    return value
+
+
+def _inverse(value: int) -> int:
+    """Multiplicative inverse mod PRIME (Fermat; PRIME is prime)."""
+    if value % PRIME == 0:
+        raise ZeroDivisionError("0 has no inverse in the field")
+    return pow(value, PRIME - 2, PRIME)
+
+
+def interpolate(
+    xs: tuple[int, ...] | list[int], ys: tuple[int, ...] | list[int]
+) -> tuple[int, ...]:
+    """Coefficients of the unique degree ``< len(xs)`` polynomial through
+    the points ``(xs[j], ys[j])``, highest-degree first.
+
+    Classic Lagrange interpolation in coefficient form, ``O(m^2)``: the
+    master product ``N(z) = prod(z - x_j)`` is expanded once; each basis
+    numerator ``N(z) / (z - x_j)`` comes from synthetic division and each
+    denominator is ``N'(x_j)``.
+
+    Raises:
+        ValueError: on duplicate evaluation points or empty input.
+    """
+    m = len(xs)
+    if m == 0 or m != len(ys):
+        raise ValueError(f"need matching non-empty points, got {m}/{len(ys)}")
+    if len(set(xs)) != m:
+        raise ValueError("duplicate evaluation points")
+    # N(z) = prod (z - x_j), highest-degree first.
+    master = [1]
+    for x in xs:
+        nxt = [0] * (len(master) + 1)
+        for i, coeff in enumerate(master):
+            nxt[i] = (nxt[i] + coeff) % PRIME
+            nxt[i + 1] = (nxt[i + 1] - coeff * x) % PRIME
+        master = nxt
+    result = [0] * m
+    for x, y in zip(xs, ys):
+        # Synthetic division: quotient of N(z) by (z - x), degree m-1.
+        quotient = [0] * m
+        carry = 0
+        for i in range(m):
+            carry = (master[i] + carry * x) % PRIME
+            quotient[i] = carry
+        # Denominator N'(x) = prod_{l != j} (x_j - x_l) = quotient(x).
+        denom = eval_poly(quotient, x)
+        scale = (y * _inverse(denom)) % PRIME
+        for i in range(m):
+            result[i] = (result[i] + scale * quotient[i]) % PRIME
+    return tuple(result)
+
+
+def solve_suffix(
+    prefix: tuple[int, ...] | list[int],
+    total_len: int,
+    xs: tuple[int, ...] | list[int],
+    ys: tuple[int, ...] | list[int],
+) -> tuple[int, ...]:
+    """Recover the unknown suffix of a path whose prefix is already known.
+
+    This is the incremental-repair primitive: when churn rewrites a route
+    but the first ``len(prefix)`` hops are unchanged, the known prefix's
+    contribution ``Pref(x) * x^(total_len - len(prefix))`` is subtracted
+    from each observed evaluation and only the remaining
+    ``total_len - len(prefix)`` coefficients are interpolated -- needing
+    that many distinct points instead of ``total_len``.
+
+    Args:
+        prefix: the known leading coefficients (most upstream first).
+        total_len: the full path length the observations claim.
+        xs / ys: distinct evaluation points and observed values of the
+            *full* polynomial; exactly ``total_len - len(prefix)`` of each.
+
+    Raises:
+        ValueError: if the prefix is not shorter than ``total_len`` or the
+            point count does not match the unknown suffix length.
+    """
+    unknown = total_len - len(prefix)
+    if unknown < 1:
+        raise ValueError(
+            f"prefix of {len(prefix)} leaves no unknown suffix of {total_len}"
+        )
+    if len(xs) != unknown or len(ys) != unknown:
+        raise ValueError(
+            f"need exactly {unknown} points, got {len(xs)}/{len(ys)}"
+        )
+    shifted = [
+        (y - eval_poly(prefix, x) * pow(x, unknown, PRIME)) % PRIME
+        for x, y in zip(xs, ys)
+    ]
+    return interpolate(xs, shifted)

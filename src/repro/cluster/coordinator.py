@@ -23,6 +23,7 @@ import json
 from collections.abc import Mapping
 from typing import Any
 
+from repro.algebraic.sink import algebraic_precedence
 from repro.faults.attribution import (
     AccusationReport,
     DropAttribution,
@@ -53,6 +54,8 @@ def merge_evidence(per_shard: Mapping[int, SinkEvidence]) -> SinkEvidence:
 
     Nodes and edges union (the precedence graph is idempotent under
     re-adding a chain); tamper-stop counts and the additive counters sum.
+    Algebraic observations merge as a sorted multiset (concatenate, then
+    sort) so the coordinator replays exactly what one big sink saw.
     The merged ``delivering_node`` -- a tie-breaker the verdict only
     consults when route evidence is absent or loops into the sink -- is
     taken from the shard that saw the most packets (smallest shard ID on
@@ -61,6 +64,7 @@ def merge_evidence(per_shard: Mapping[int, SinkEvidence]) -> SinkEvidence:
     nodes: set[int] = set()
     edges: set[tuple[int, int]] = set()
     stops: dict[int, int] = {}
+    observations: list[tuple[int, int, int, int, int, int]] = []
     packets_received = 0
     tampered_packets = 0
     chains_with_marks = 0
@@ -71,6 +75,7 @@ def merge_evidence(per_shard: Mapping[int, SinkEvidence]) -> SinkEvidence:
         evidence = per_shard[shard_id]
         nodes.update(evidence.nodes)
         edges.update(evidence.edges)
+        observations.extend(evidence.algebraic)
         for node, count in evidence.tamper_stops:
             stops[node] = stops.get(node, 0) + count
         packets_received += evidence.packets_received
@@ -91,6 +96,7 @@ def merge_evidence(per_shard: Mapping[int, SinkEvidence]) -> SinkEvidence:
         chains_with_marks=chains_with_marks,
         fallback_searches=fallback_searches,
         delivering_node=delivering_node,
+        algebraic=tuple(sorted(observations)),
     )
 
 
@@ -152,8 +158,12 @@ class ClusterCoordinator:
         trace: SpanContext | None = None,
     ) -> TracebackVerdict:
         """Run the single-sink verdict function over merged evidence."""
+        if evidence.algebraic:
+            precedence = algebraic_precedence(evidence, self.topology)
+        else:
+            precedence = evidence_precedence(evidence)
         result = compute_verdict(
-            evidence_precedence(evidence),
+            precedence,
             dict(evidence.tamper_stops),
             evidence.tampered_packets,
             evidence.chains_with_marks,

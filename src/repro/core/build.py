@@ -93,6 +93,10 @@ def _make_scheme(sc: Scenario) -> MarkingScheme:
             "anon_id_len": sc.anon_id_len,
             "mac_len": sc.mac_len,
         }
+    elif sc.scheme == "algebraic":
+        # Deterministic accumulator scheme: mark_prob is fixed at 1.0 and
+        # the 5-byte accumulator replaces the ID-length knobs.
+        kwargs = {"mac_len": sc.mac_len}
     else:
         raise ValueError(f"unknown scheme {sc.scheme!r}")
     return scheme_by_name(sc.scheme, **kwargs)

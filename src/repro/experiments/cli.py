@@ -18,6 +18,7 @@ from collections.abc import Callable
 from repro import obs as obs_pkg
 from repro.experiments import (
     ablations,
+    algebraic_sweep,
     approaches,
     cluster_sweep,
     faults_sweep,
@@ -50,6 +51,7 @@ _SINGLE_RUNNERS: dict[str, Callable[[Preset], FigureResult]] = {
     "wire-sweep": wire_sweep.run,
     "cluster-sweep": cluster_sweep.run,
     "faults-sweep": faults_sweep.run,
+    "algebraic-sweep": algebraic_sweep.run,
     "watchdog-sweep": watchdog_sweep.run,
     "approaches": approaches.run,
     "overhead": overhead_table.run,

@@ -55,6 +55,7 @@ _RL002_SCOPE = (
     "repro/wire/",
     "repro/cluster/",
     "repro/watchdog/",
+    "repro/algebraic/",
 )
 
 

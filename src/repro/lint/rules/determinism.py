@@ -37,6 +37,10 @@ _RL004_SCOPE = (
     "repro/wire/",
     "repro/cluster/",
     "repro/watchdog/",
+    # The solver's confirmed-path/donor iteration IS the cluster
+    # byte-identity contract: any unsorted set/dict walk here can split
+    # a merged verdict from the single-sink one.
+    "repro/algebraic/",
 )
 
 _RL006_SCOPE = (
@@ -67,6 +71,10 @@ _RL006_SCOPE = (
     # simulator, and its gated overhead benchmark depends on the data
     # plane being bit-identical run to run.
     "repro/watchdog/",
+    # Algebraic observations carry *report* timestamps (virtual time);
+    # the solver replaying a canonical multiset must never consult a
+    # clock, or resolving the same evidence twice could diverge.
+    "repro/algebraic/",
 )
 
 _WALL_CLOCK_CALLS = {

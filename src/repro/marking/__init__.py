@@ -3,18 +3,25 @@
 Six schemes span the paper's design space, from the null baseline to full
 PNM:
 
-===================  =====  ==========  =============  ==============
-Scheme               Marks  ID on wire  MAC covers     Paper role
-===================  =====  ==========  =============  ==============
-``NoMarking``        never  --          --             null baseline
-``PPMMarking``       p      plain       nothing        Internet PPM baseline
-``ExtendedAMS``      p      plain       report + ID    Section 3 baseline
-``NestedMarking``    1.0    plain       whole prefix   Section 4.1
-``NaiveProb...``     p      plain       whole prefix   Section 4.2 strawman
-``PNMMarking``       p      anonymous   whole prefix   the paper's scheme
-===================  =====  ==========  =============  ==============
+===================  =====  ===========  ==============  ==============
+Scheme               Marks  ID on wire   MAC covers      Paper role
+===================  =====  ===========  ==============  ==============
+``NoMarking``        never  --           --              null baseline
+``PPMMarking``       p      plain        nothing         Internet PPM baseline
+``ExtendedAMS``      p      plain        report + ID     Section 3 baseline
+``NestedMarking``    1.0    plain        whole prefix    Section 4.1
+``NaiveProb...``     p      plain        whole prefix    Section 4.2 strawman
+``PNMMarking``       p      anonymous    whole prefix    the paper's scheme
+``AlgebraicMark...`` 1.0    accumulator  report + accum  dynamic-network ext.
+===================  =====  ===========  ==============  ==============
+
+``AlgebraicMarking`` (the arXiv:0908.0078 extension, see
+:mod:`repro.algebraic`) is the odd one out: it *replaces* a single
+constant-size accumulator per hop instead of appending, so its sink side
+is stateful across topology changes.
 """
 
+from repro.algebraic.marking import AlgebraicMarking
 from repro.marking.ams import ExtendedAMS
 from repro.marking.base import MarkingScheme, NodeContext
 from repro.marking.nested import NaiveProbabilisticNested, NestedMarking
@@ -32,6 +39,7 @@ __all__ = [
     "NaiveProbabilisticNested",
     "PNMMarking",
     "PartiallyNestedMarking",
+    "AlgebraicMarking",
     "scheme_by_name",
     "SCHEME_CLASSES",
 ]
@@ -47,6 +55,7 @@ SCHEME_CLASSES: dict[str, type[MarkingScheme]] = {
         NaiveProbabilisticNested,
         PNMMarking,
         PartiallyNestedMarking,
+        AlgebraicMarking,
     )
 }
 
@@ -56,7 +65,7 @@ def scheme_by_name(name: str, **kwargs) -> MarkingScheme:
 
     Args:
         name: one of ``none``, ``ppm``, ``ams``, ``nested``, ``naive-pnm``,
-            ``pnm``.
+            ``pnm``, ``partial-nested``, ``algebraic``.
         **kwargs: forwarded to the scheme constructor (e.g. ``mark_prob``).
 
     Raises:

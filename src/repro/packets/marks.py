@@ -28,17 +28,24 @@ class MarkFormat:
         mac_len: bytes in the MAC field (0 for unauthenticated marking).
         anonymous: whether the ID field carries an anonymous ID that the
             sink must resolve, rather than a plain node ID.
+        algebraic: whether the ID field carries an algebraic accumulator
+            (``count | field element``, see :mod:`repro.algebraic`) that is
+            *replaced* per hop instead of appended.  Mutually exclusive
+            with ``anonymous``.
     """
 
     id_len: int = DEFAULT_ID_LEN
     mac_len: int = 4
     anonymous: bool = False
+    algebraic: bool = False
 
     def __post_init__(self) -> None:
         if self.id_len < 1:
             raise ValueError(f"id_len must be >= 1, got {self.id_len}")
         if self.mac_len < 0:
             raise ValueError(f"mac_len must be >= 0, got {self.mac_len}")
+        if self.algebraic and self.anonymous:
+            raise ValueError("a mark format cannot be both anonymous and algebraic")
 
     @property
     def mark_len(self) -> int:

@@ -53,4 +53,23 @@ __all__ = [
     "PairAwareNestedMarking",
     "SuspectPair",
     "refine_to_pair",
+    "AlgebraicSolver",
+    "AlgebraicTracebackSink",
 ]
+
+# The algebraic solver/sink logically belong to the traceback surface but
+# live in repro.algebraic (which imports this package); resolve them
+# lazily (PEP 562) to keep the import graph acyclic.
+_ALGEBRAIC_EXPORTS = {
+    "AlgebraicSolver": "repro.algebraic.solver",
+    "AlgebraicTracebackSink": "repro.algebraic.sink",
+}
+
+
+def __getattr__(name: str):
+    module_name = _ALGEBRAIC_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -89,6 +89,12 @@ class SinkEvidence:
         delivering_node: the localization fallback neighbor (the last
             delivering node for a live sink; a deterministic choice when
             merged -- see :func:`repro.cluster.merge_evidence`).
+        algebraic: canonical (sorted) algebraic observation tuples
+            (:meth:`repro.algebraic.solver.AlgebraicObservation.as_tuple`)
+            when the deployed scheme is algebraic; empty otherwise.
+            Additive by sorted multiset union -- raw observations, not
+            solver state, travel between shards, so the verdict stays a
+            pure function of merged evidence.
     """
 
     nodes: tuple[int, ...] = ()
@@ -99,6 +105,7 @@ class SinkEvidence:
     chains_with_marks: int = 0
     fallback_searches: int = 0
     delivering_node: int | None = None
+    algebraic: tuple[tuple[int, int, int, int, int, int], ...] = ()
 
 
 def evidence_precedence(evidence: SinkEvidence) -> PrecedenceGraph:

@@ -39,6 +39,8 @@ _U64_MAX = (1 << 64) - 1
 MARK_FORMAT_LEN = 3
 
 _FLAG_ANONYMOUS = 0x01
+_FLAG_ALGEBRAIC = 0x02
+_KNOWN_FORMAT_FLAGS = _FLAG_ANONYMOUS | _FLAG_ALGEBRAIC
 
 
 def write_varint(value: int) -> bytes:
@@ -131,7 +133,11 @@ def encode_mark_format(fmt: MarkFormat) -> bytes:
     """Encode the deployment's mark layout (3 bytes, see docs/wire.md)."""
     if fmt.id_len > 0xFF or fmt.mac_len > 0xFF:
         raise ValueError(f"mark format fields exceed one byte: {fmt}")
-    flags = _FLAG_ANONYMOUS if fmt.anonymous else 0
+    flags = 0
+    if fmt.anonymous:
+        flags |= _FLAG_ANONYMOUS
+    if fmt.algebraic:
+        flags |= _FLAG_ALGEBRAIC
     return bytes((fmt.id_len, fmt.mac_len, flags))
 
 
@@ -148,13 +154,14 @@ def decode_mark_format(data: bytes, offset: int = 0) -> tuple[MarkFormat, int]:
     if len(data) - offset < MARK_FORMAT_LEN:
         raise TruncatedError("buffer too short for a mark format")
     id_len, mac_len, flags = data[offset : offset + MARK_FORMAT_LEN]
-    if flags & ~_FLAG_ANONYMOUS:
+    if flags & ~_KNOWN_FORMAT_FLAGS:
         raise BadFrameError(f"unknown mark-format flag bits: {flags:#04x}")
     try:
         fmt = MarkFormat(
             id_len=id_len,
             mac_len=mac_len,
             anonymous=bool(flags & _FLAG_ANONYMOUS),
+            algebraic=bool(flags & _FLAG_ALGEBRAIC),
         )
     except ValueError as exc:
         raise BadFrameError(str(exc)) from None

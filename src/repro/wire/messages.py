@@ -280,7 +280,12 @@ def encode_error(info: WireErrorInfo) -> bytes:
 
 
 _SUMMARY_FLAG_DELIVERING = 0x01
-_SUMMARY_KNOWN_FLAGS = 0x01
+_SUMMARY_FLAG_ALGEBRAIC = 0x02
+_SUMMARY_KNOWN_FLAGS = 0x03
+
+#: Fields per algebraic observation tuple (see
+#: :meth:`repro.algebraic.solver.AlgebraicObservation.as_tuple`).
+_OBSERVATION_FIELDS = 6
 
 
 def encode_summary(evidence: SinkEvidence) -> bytes:
@@ -288,21 +293,29 @@ def encode_summary(evidence: SinkEvidence) -> bytes:
 
     Grammar (every integer a varint unless noted)::
 
-        summary := counters flags [delivering] nodes edges stops
+        summary := counters flags [delivering] nodes edges stops [algebraic]
         counters := packets_received tampered_packets chains_with_marks
                     fallback_searches
         flags   := u8                      -- bit 0: delivering present
+                                           -- bit 1: algebraic section present
         nodes   := count count x node
         edges   := count count x (upstream downstream)
         stops   := count count x (node stop_count)
+        algebraic := count count x (timestamp point hops value delivering
+                                    last_hop_plus1)
 
-    Nodes, edges and stops are written in the canonical sorted order
+    Nodes, edges, stops and algebraic observations are written in the
+    canonical sorted order
     :meth:`~repro.traceback.sink.TracebackSink.evidence` produces, so two
-    shards with identical evidence encode identical bytes.
+    shards with identical evidence encode identical bytes.  Evidence with
+    no algebraic observations encodes byte-identically to the pre-algebraic
+    grammar (the section and its flag bit are simply absent).
     """
     flags = 0
     if evidence.delivering_node is not None:
         flags |= _SUMMARY_FLAG_DELIVERING
+    if evidence.algebraic:
+        flags |= _SUMMARY_FLAG_ALGEBRAIC
     parts = [
         write_varint(evidence.packets_received),
         write_varint(evidence.tampered_packets),
@@ -322,6 +335,15 @@ def encode_summary(evidence: SinkEvidence) -> bytes:
     for node, stop_count in evidence.tamper_stops:
         parts.append(write_varint(node))
         parts.append(write_varint(stop_count))
+    if evidence.algebraic:
+        parts.append(write_varint(len(evidence.algebraic)))
+        for observation in evidence.algebraic:
+            if len(observation) != _OBSERVATION_FIELDS:
+                raise ValueError(
+                    f"algebraic observation has {len(observation)} fields, "
+                    f"expected {_OBSERVATION_FIELDS}"
+                )
+            parts.extend(write_varint(value) for value in observation)
     return b"".join(parts)
 
 
@@ -369,6 +391,24 @@ def decode_summary(payload: bytes) -> SinkEvidence:
         node, offset = read_varint(payload, offset)
         hits, offset = read_varint(payload, offset)
         stops.append((node, hits))
+    observations = []
+    if flags & _SUMMARY_FLAG_ALGEBRAIC:
+        observation_count, offset = read_varint(payload, offset)
+        if observation_count > len(payload):
+            raise BadFrameError(
+                f"algebraic observation count {observation_count} exceeds "
+                f"payload size {len(payload)}"
+            )
+        if observation_count == 0:
+            raise BadFrameError(
+                "algebraic flag set with zero observations"
+            )
+        for _ in range(observation_count):
+            fields = []
+            for _ in range(_OBSERVATION_FIELDS):
+                value, offset = read_varint(payload, offset)
+                fields.append(value)
+            observations.append(tuple(fields))
     _require_consumed(payload, offset, "SUMMARY")
     return SinkEvidence(
         nodes=tuple(nodes),
@@ -379,6 +419,7 @@ def decode_summary(payload: bytes) -> SinkEvidence:
         chains_with_marks=chains_with_marks,
         fallback_searches=fallback_searches,
         delivering_node=delivering_node,
+        algebraic=tuple(observations),
     )
 
 

@@ -1,0 +1,100 @@
+"""Prime-field primitives: Horner, interpolation, suffix solving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic.field import (
+    PRIME,
+    eval_poly,
+    evaluation_point,
+    horner_step,
+    interpolate,
+    solve_suffix,
+)
+
+node_ids = st.integers(min_value=0, max_value=10_000)
+points = st.integers(min_value=1, max_value=PRIME - 1)
+
+
+def distinct_points(count: int):
+    return st.lists(points, min_size=count, max_size=count, unique=True)
+
+
+class TestHorner:
+    @given(path=st.lists(node_ids, min_size=1, max_size=10), x=points)
+    def test_horner_chain_equals_polynomial_evaluation(self, path, x):
+        value = 0
+        for node in path:
+            value = horner_step(value, x, node)
+        assert value == eval_poly(path, x)
+
+    def test_empty_polynomial_evaluates_to_zero(self):
+        assert eval_poly((), 12345) == 0
+
+    @given(x=points, node=node_ids)
+    def test_single_hop_is_the_node_id(self, x, node):
+        assert horner_step(0, x, node) == node % PRIME
+
+
+class TestEvaluationPoint:
+    def test_deterministic_and_in_range(self):
+        wire = b"some-report-bytes"
+        first = evaluation_point(wire)
+        assert first == evaluation_point(wire)
+        assert 1 <= first < PRIME
+
+    def test_distinct_reports_distinct_points(self):
+        seen = {evaluation_point(i.to_bytes(4, "big")) for i in range(200)}
+        assert len(seen) == 200
+
+
+class TestInterpolate:
+    @given(data=st.data(), m=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_recovers_coefficients(self, data, m):
+        coeffs = tuple(
+            data.draw(node_ids, label=f"coeff{i}") for i in range(m)
+        )
+        xs = data.draw(distinct_points(m), label="xs")
+        ys = [eval_poly(coeffs, x) for x in xs]
+        assert interpolate(xs, ys) == coeffs
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            interpolate([3, 3], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate([1, 2], [5])
+
+
+class TestSolveSuffix:
+    @given(
+        data=st.data(),
+        prefix_len=st.integers(min_value=1, max_value=4),
+        suffix_len=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100)
+    def test_recovers_suffix_from_known_prefix(
+        self, data, prefix_len, suffix_len
+    ):
+        total = prefix_len + suffix_len
+        path = tuple(
+            data.draw(node_ids, label=f"hop{i}") for i in range(total)
+        )
+        xs = data.draw(distinct_points(suffix_len), label="xs")
+        ys = [eval_poly(path, x) for x in xs]
+        assert solve_suffix(path[:prefix_len], total, xs, ys) == path[prefix_len:]
+
+    def test_prefix_covering_everything_rejected(self):
+        with pytest.raises(ValueError, match="no unknown suffix"):
+            solve_suffix((1, 2), 2, [], [])
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(ValueError, match="need exactly"):
+            solve_suffix((1,), 3, [5], [7])

@@ -1,0 +1,149 @@
+"""The accumulator scheme: replace semantics, totality, attribution."""
+
+import pytest
+
+from repro.algebraic.errors import MalformedAccumulatorError
+from repro.algebraic.field import PRIME, eval_poly, evaluation_point
+from repro.algebraic.marking import (
+    ACCUMULATOR_LEN,
+    MAX_PATH_LEN,
+    AlgebraicMarking,
+    pack_accumulator,
+    unpack_accumulator,
+)
+from repro.marking import scheme_by_name
+from repro.packets.marks import Mark, MarkFormat
+from tests.conftest import ctx_for, mark_through_path
+
+
+class TestAccumulatorCodec:
+    def test_round_trip(self):
+        for count, value in [(1, 0), (7, 123456), (MAX_PATH_LEN, PRIME - 1)]:
+            assert unpack_accumulator(pack_accumulator(count, value)) == (
+                count,
+                value,
+            )
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(MalformedAccumulatorError, match="bytes"):
+            unpack_accumulator(b"\x01\x00\x00")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(MalformedAccumulatorError, match="hop count"):
+            unpack_accumulator(b"\x00" + (0).to_bytes(4, "big"))
+
+    def test_count_above_max_rejected(self):
+        with pytest.raises(MalformedAccumulatorError, match="hop count"):
+            unpack_accumulator(
+                bytes((MAX_PATH_LEN + 1,)) + (0).to_bytes(4, "big")
+            )
+
+    def test_value_outside_field_rejected(self):
+        with pytest.raises(MalformedAccumulatorError, match="field"):
+            unpack_accumulator(b"\x01" + PRIME.to_bytes(4, "big"))
+
+    def test_pack_validates(self):
+        with pytest.raises(ValueError):
+            pack_accumulator(0, 0)
+        with pytest.raises(ValueError):
+            pack_accumulator(1, PRIME)
+
+
+class TestSchemeConstruction:
+    def test_registered(self):
+        scheme = scheme_by_name("algebraic")
+        assert isinstance(scheme, AlgebraicMarking)
+        assert scheme.fmt.algebraic and not scheme.fmt.anonymous
+        assert scheme.fmt.id_len == ACCUMULATOR_LEN
+
+    def test_probabilistic_marking_rejected(self):
+        with pytest.raises(ValueError, match="deterministic"):
+            AlgebraicMarking(mark_prob=0.5)
+
+    def test_format_cannot_be_anonymous_and_algebraic(self):
+        with pytest.raises(ValueError, match="anonymous and algebraic"):
+            MarkFormat(id_len=5, mac_len=4, anonymous=True, algebraic=True)
+
+
+class TestReplaceSemantics:
+    def test_single_mark_however_long_the_path(self, keystore, provider, packet):
+        path = [1, 2, 3, 4, 5, 6]
+        marked = mark_through_path(AlgebraicMarking(), keystore, provider, path, packet)
+        assert marked.num_marks == 1
+
+    def test_accumulator_is_the_path_polynomial(self, keystore, provider, packet):
+        path = [3, 1, 7, 5]
+        marked = mark_through_path(AlgebraicMarking(), keystore, provider, path, packet)
+        count, value = unpack_accumulator(marked.marks[0].id_field)
+        point = evaluation_point(packet.report_wire)
+        assert count == len(path)
+        assert value == eval_poly(path, point)
+
+    def test_final_mac_attributes_last_hop_only(self, keystore, provider, packet):
+        scheme = AlgebraicMarking()
+        marked = mark_through_path(scheme, keystore, provider, [2, 4, 6], packet)
+        assert scheme.verify_mark_as(marked, 0, 6, keystore[6], provider)
+        assert not scheme.verify_mark_as(marked, 0, 4, keystore[4], provider)
+        assert 6 in scheme.candidate_marker_ids(marked, 0, keystore, provider)
+
+
+class TestHonestTotality:
+    """Honest forwarders never crash; garbage restarts the polynomial."""
+
+    @pytest.mark.parametrize(
+        "bad_id_field",
+        [
+            b"",  # empty
+            b"\x01\x02",  # short
+            b"\x00" + (5).to_bytes(4, "big"),  # zero count
+            bytes((MAX_PATH_LEN + 1,)) + (5).to_bytes(4, "big"),  # count high
+            b"\x02" + PRIME.to_bytes(4, "big"),  # value outside field
+        ],
+        ids=["empty", "short", "zero-count", "count-high", "value-high"],
+    )
+    def test_malformed_accumulator_restarts_at_self(
+        self, keystore, provider, packet, bad_id_field
+    ):
+        scheme = AlgebraicMarking()
+        garbled = packet.with_marks((Mark(id_field=bad_id_field, mac=b"\0" * 4),))
+        forwarded = scheme.on_forward(ctx_for(9, keystore, provider), garbled)
+        count, value = unpack_accumulator(forwarded.marks[0].id_field)
+        assert count == 1
+        assert value == 9  # the restarting node itself
+
+    def test_extra_marks_restart_at_self(self, keystore, provider, packet):
+        scheme = AlgebraicMarking()
+        two = packet.with_marks(
+            (
+                Mark(id_field=pack_accumulator(1, 5), mac=b"\0" * 4),
+                Mark(id_field=pack_accumulator(2, 6), mac=b"\0" * 4),
+            )
+        )
+        forwarded = scheme.on_forward(ctx_for(3, keystore, provider), two)
+        assert forwarded.num_marks == 1
+        count, value = unpack_accumulator(forwarded.marks[0].id_field)
+        assert (count, value) == (1, 3)
+
+    def test_counter_saturation_restarts_instead_of_wrapping(
+        self, keystore, provider, packet
+    ):
+        scheme = AlgebraicMarking()
+        saturated = packet.with_marks(
+            (Mark(id_field=pack_accumulator(MAX_PATH_LEN, 11), mac=b"\0" * 4),)
+        )
+        forwarded = scheme.on_forward(ctx_for(8, keystore, provider), saturated)
+        count, value = unpack_accumulator(forwarded.marks[0].id_field)
+        assert (count, value) == (1, 8)
+
+    def test_rng_parity_with_appending_schemes(self, keystore, provider, packet):
+        # One coin per hop, like every probabilistic scheme: paired runs
+        # across schemes must consume identical node randomness.
+        ctx = ctx_for(4, keystore, provider)
+        before = ctx.rng.getstate()
+        AlgebraicMarking().on_forward(ctx, packet)
+        assert ctx.rng.getstate() != before
+        ctx.rng.random()  # and exactly one draw:
+        expected = ctx_for(4, keystore, provider).rng
+        expected.random()
+        expected.random()
+        assert ctx.rng.getstate() == expected.getstate()

@@ -1,0 +1,177 @@
+"""The incremental solver: recovery, churn repair, totality, determinism."""
+
+import random
+
+import pytest
+
+from repro.algebraic.errors import MalformedObservationError
+from repro.algebraic.field import PRIME, eval_poly
+from repro.algebraic.solver import (
+    AlgebraicObservation,
+    AlgebraicSolver,
+    solve_observations,
+)
+from repro.net.topology import grid_topology, linear_path_topology
+
+
+def observations_for(route, points, start_ts=0, anchored=True):
+    """One well-formed anchored observation of ``route`` per point."""
+    return [
+        AlgebraicObservation(
+            timestamp=start_ts + i,
+            point=x,
+            count=len(route),
+            value=eval_poly(route, x),
+            delivering_node=route[-1],
+            last_hop=route[-1] if anchored else None,
+        )
+        for i, x in enumerate(points)
+    ]
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_recovers_linear_path_of_every_length(self, n):
+        topology, _source = linear_path_topology(n)
+        route = tuple(range(1, n + 1))
+        solver = AlgebraicSolver(topology)
+        confirmed = None
+        for obs in observations_for(route, [101 + 7 * i for i in range(n)]):
+            confirmed = solver.observe(obs) or confirmed
+        assert confirmed == route
+        assert solver.confirmed_paths() == (route,)
+        assert solver.full_solves == 1
+        assert solver.incremental_repairs == 0
+
+    def test_no_anchor_never_confirms(self):
+        topology, _source = linear_path_topology(3)
+        route = (1, 2, 3)
+        solver = AlgebraicSolver(topology)
+        for obs in observations_for(route, [5, 6, 7, 8], anchored=False):
+            assert solver.observe(obs) is None
+        assert solver.confirmed_paths() == ()
+
+    def test_duplicate_points_do_not_confirm_early(self):
+        topology, _source = linear_path_topology(3)
+        route = (1, 2, 3)
+        solver = AlgebraicSolver(topology)
+        for obs in observations_for(route, [9, 9, 9]):
+            solver.observe(obs)
+        assert solver.confirmed_paths() == ()
+        for obs in observations_for(route, [10, 11], start_ts=10):
+            solver.observe(obs)
+        assert solver.confirmed_paths() == (route,)
+
+
+class TestIncrementalRepair:
+    """Churn rewrites a suffix; the solver reuses the shared prefix."""
+
+    ROUTE_A = (15, 14, 13, 9, 5)
+    ROUTE_B = (15, 14, 13, 9, 4)
+
+    def test_one_point_repairs_a_changed_last_hop(self):
+        topology = grid_topology(4, 4, sink_at="corner")
+        solver = AlgebraicSolver(topology)
+        for obs in observations_for(self.ROUTE_A, [21, 22, 23, 24, 25]):
+            solver.observe(obs)
+        assert self.ROUTE_A in solver.confirmed_paths()
+        assert solver.incremental_repairs == 0
+        # One single anchored point suffices for the rerouted path: the
+        # (15, 14, 13, 9) prefix is donated by the old estimate.
+        (repair_obs,) = observations_for(self.ROUTE_B, [31], start_ts=100)
+        assert solver.observe(repair_obs) == self.ROUTE_B
+        assert solver.incremental_repairs >= 1
+        assert set(solver.confirmed_paths()) == {self.ROUTE_A, self.ROUTE_B}
+
+    def test_old_route_survives_in_confirmed_paths(self):
+        topology = grid_topology(4, 4, sink_at="corner")
+        solver = AlgebraicSolver(topology)
+        for obs in observations_for(self.ROUTE_A, [21, 22, 23, 24, 25]):
+            solver.observe(obs)
+        (repair_obs,) = observations_for(self.ROUTE_B, [31], start_ts=100)
+        solver.observe(repair_obs)
+        assert self.ROUTE_A in solver.confirmed_paths()
+
+
+class TestTotality:
+    """Garbage observations never raise; they count and age out."""
+
+    def test_out_of_range_fields_counted_malformed(self):
+        topology, _source = linear_path_topology(3)
+        solver = AlgebraicSolver(topology)
+        bad = [
+            AlgebraicObservation(0, 0, 1, 5, 3, None),  # point 0
+            AlgebraicObservation(0, 7, 0, 5, 3, None),  # count 0
+            AlgebraicObservation(0, 7, 200, 5, 3, None),  # count high
+            AlgebraicObservation(0, 7, 1, PRIME, 3, None),  # value high
+            AlgebraicObservation(-1, 7, 1, 5, 3, None),  # negative ts
+        ]
+        for obs in bad:
+            assert solver.observe(obs) is None
+        assert solver.malformed == len(bad)
+        assert solver.confirmed_paths() == ()
+
+    def test_garbage_values_never_confirm(self):
+        topology, _source = linear_path_topology(4)
+        solver = AlgebraicSolver(topology)
+        rng = random.Random("alg-garbage")
+        for i in range(200):
+            solver.observe(
+                AlgebraicObservation(
+                    timestamp=i,
+                    point=rng.randrange(1, PRIME),
+                    count=rng.randrange(1, 8),
+                    value=rng.randrange(PRIME),
+                    delivering_node=rng.randrange(6),
+                    last_hop=rng.choice([None, rng.randrange(6)]),
+                )
+            )
+        for path in solver.confirmed_paths():
+            # Anything that does confirm must at least be admissible.
+            assert topology.has_edge(path[-1], topology.sink)
+
+    def test_pending_buffer_is_bounded(self):
+        topology, _source = linear_path_topology(3)
+        solver = AlgebraicSolver(topology, max_pending=4)
+        for obs in observations_for((1, 2, 3), range(100, 150), anchored=False):
+            solver.observe(obs)
+        assert all(
+            len(group.pending) <= 4 for group in solver._groups.values()
+        )
+
+    def test_max_pending_validated(self):
+        topology, _source = linear_path_topology(2)
+        with pytest.raises(ValueError, match="max_pending"):
+            AlgebraicSolver(topology, max_pending=0)
+
+
+class TestObservationCodec:
+    def test_tuple_round_trip(self):
+        for last in (None, 0, 7):
+            obs = AlgebraicObservation(5, 17, 3, 999, 4, last)
+            assert AlgebraicObservation.from_tuple(obs.as_tuple()) == obs
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(MalformedObservationError, match="fields"):
+            AlgebraicObservation.from_tuple((1, 2, 3, 4, 5))
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(MalformedObservationError, match="non-negative"):
+            AlgebraicObservation.from_tuple((1, -2, 3, 4, 5, 6))
+
+
+class TestDeterminism:
+    def test_solution_is_order_independent(self):
+        topology = grid_topology(4, 4, sink_at="corner")
+        stream = (
+            observations_for((15, 14, 13, 9, 5), [21, 22, 23, 24, 25])
+            + observations_for((7, 6, 5), [41, 42, 43], start_ts=50)
+            + observations_for((15, 14, 13, 9, 4), [31], start_ts=100)
+        )
+        reference = solve_observations(stream, topology)
+        assert reference.confirmed_paths  # the scenario actually confirms
+        rng = random.Random("alg-shuffle")
+        for _ in range(5):
+            shuffled = list(stream)
+            rng.shuffle(shuffled)
+            assert solve_observations(shuffled, topology) == reference

@@ -18,6 +18,10 @@ def all_schemes() -> list[MarkingScheme]:
     ]
 
 
+
+# The algebraic accumulator scheme replaces its single mark per hop, so
+# the append-style assertions below (num_marks == path length, per-index
+# verification) don't apply; its behavior lives in tests/test_algebraic.
 MARKING_SCHEMES = [s for s in all_schemes() if s.name != "none"]
 
 
@@ -31,6 +35,7 @@ class TestRegistry:
             "partial-nested",
             "naive-pnm",
             "pnm",
+            "algebraic",
         }
 
     def test_unknown_name_raises(self):

@@ -87,11 +87,19 @@ reports = st.builds(
     ),
 )
 
+# One kind per format: anonymous and algebraic are mutually exclusive by
+# construction (MarkFormat rejects the combination), so the strategy
+# samples the kind rather than two independent booleans.
 mark_formats = st.builds(
-    MarkFormat,
+    lambda id_len, mac_len, kind: MarkFormat(
+        id_len=id_len,
+        mac_len=mac_len,
+        anonymous=kind == "anonymous",
+        algebraic=kind == "algebraic",
+    ),
     id_len=st.integers(min_value=1, max_value=8),
     mac_len=st.integers(min_value=0, max_value=8),
-    anonymous=st.booleans(),
+    kind=st.sampled_from(["plain", "anonymous", "algebraic"]),
 )
 
 
